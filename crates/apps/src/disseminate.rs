@@ -1,0 +1,569 @@
+//! A Disseminate-like D2D media-sharing application (paper §4.3, Table 5).
+//!
+//! "Co-located users download media from an infrastructure network and share
+//! them among themselves ... devices exchange meta-data describing their
+//! available and desired data before exchanging the (much larger) data
+//! itself."
+//!
+//! Protocol, common to every variant:
+//!
+//! 1. The file is split into fixed-size pieces; device *i* of *n* is
+//!    assigned the pieces with `index % n == i` and downloads them from the
+//!    (mock) infrastructure network.
+//! 2. Each device continuously shares its piece **inventory** as context
+//!    (metadata-before-data). The inventory is an 8-byte bitmap, small
+//!    enough for a BLE advertisement.
+//! 3. When a device owns an *assigned* piece that a known peer lacks, it
+//!    transfers the piece (unicast data in the Omni/SA variants; one
+//!    multicast transmission reaching all peers in the SP variant).
+//! 4. After its assignment completes, a device falls back to fetching still
+//!    missing pieces from the infrastructure — whichever source completes a
+//!    piece first wins (this is what lets SP at high infrastructure rates
+//!    degrade gracefully to a direct download, Table 5's 30 s cell).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use omni_baselines::sp::{SpAddr, SpCtl, SpHandler, SpOp};
+use omni_core::{ContextParams, OmniCtl};
+use omni_sim::{SimDuration, SimTime};
+use omni_wire::OmniAddress;
+
+const TAG_INVENTORY: u8 = b'D';
+const TAG_PIECE: u8 = b'P';
+/// Infrastructure request id for the assigned share.
+const REQ_ASSIGNED: u64 = 1;
+/// Infrastructure request ids for fallback fetches: `REQ_FALLBACK + piece`.
+const REQ_FALLBACK: u64 = 1000;
+
+/// The file being disseminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSpec {
+    /// Number of pieces (at most 64 — the inventory is a 64-bit bitmap).
+    pub pieces: u32,
+    /// Bytes per piece.
+    pub piece_bytes: u64,
+}
+
+impl FileSpec {
+    /// The paper's 30 MB file as 30 × 1 MB pieces.
+    pub const PAPER_30MB: FileSpec = FileSpec { pieces: 30, piece_bytes: 1_000_000 };
+
+    /// Total file size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.pieces as u64 * self.piece_bytes
+    }
+
+    /// The pieces assigned to device `index` of `n`.
+    pub fn assignment(&self, index: usize, n: usize) -> Vec<u32> {
+        (0..self.pieces).filter(|p| (*p as usize) % n == index).collect()
+    }
+}
+
+/// A piece-ownership bitmap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Inventory(pub u64);
+
+impl Inventory {
+    /// Whether piece `p` is present.
+    pub fn has(&self, p: u32) -> bool {
+        self.0 & (1u64 << p) != 0
+    }
+
+    /// Marks piece `p` present; returns true if it was new.
+    pub fn add(&mut self, p: u32) -> bool {
+        let new = !self.has(p);
+        self.0 |= 1u64 << p;
+        new
+    }
+
+    /// Number of pieces present.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether all of `total` pieces are present.
+    pub fn complete(&self, total: u32) -> bool {
+        self.count() >= total
+    }
+
+    /// Context payload encoding.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(9);
+        b.put_u8(TAG_INVENTORY);
+        b.put_u64(self.0);
+        b.freeze()
+    }
+
+    /// Decodes a context payload, if it is an inventory.
+    pub fn decode(bytes: &[u8]) -> Option<Inventory> {
+        if bytes.len() == 9 && bytes[0] == TAG_INVENTORY {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[1..]);
+            Some(Inventory(u64::from_be_bytes(raw)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Encodes a piece-transfer descriptor.
+pub fn encode_piece(p: u32) -> Bytes {
+    let mut b = BytesMut::with_capacity(5);
+    b.put_u8(TAG_PIECE);
+    b.put_u32(p);
+    b.freeze()
+}
+
+/// Decodes a piece-transfer descriptor.
+pub fn decode_piece(bytes: &[u8]) -> Option<u32> {
+    if bytes.len() == 5 && bytes[0] == TAG_PIECE {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&bytes[1..]);
+        Some(u32::from_be_bytes(raw))
+    } else {
+        None
+    }
+}
+
+/// Shared experiment outcome for one device.
+#[derive(Debug, Default, Clone)]
+pub struct DisseminateReport {
+    /// When the device held the complete file.
+    pub completed_at: Option<SimTime>,
+    /// Pieces received from peers.
+    pub pieces_via_d2d: u32,
+    /// Pieces received from the infrastructure.
+    pub pieces_via_infra: u32,
+}
+
+/// Shared handle onto a device's report.
+pub type SharedReport = Rc<RefCell<DisseminateReport>>;
+
+// ---------------------------------------------------------------------
+// Omni / SA variant (Developer API)
+// ---------------------------------------------------------------------
+
+struct OmniState {
+    spec: FileSpec,
+    assigned: Vec<u32>,
+    my: Inventory,
+    originally_mine: Inventory,
+    peers: HashMap<OmniAddress, Inventory>,
+    sent: HashSet<(u32, OmniAddress)>,
+    context_id: Option<u64>,
+    fallback_piece: Option<u32>,
+    report: SharedReport,
+}
+
+impl OmniState {
+    fn on_piece_acquired(&mut self, p: u32, via_d2d: bool, now: SimTime) {
+        if !self.my.add(p) {
+            return;
+        }
+        let mut rep = self.report.borrow_mut();
+        if via_d2d {
+            rep.pieces_via_d2d += 1;
+        } else {
+            rep.pieces_via_infra += 1;
+        }
+        if self.my.complete(self.spec.pieces) && rep.completed_at.is_none() {
+            rep.completed_at = Some(now);
+        }
+    }
+
+    /// Pieces to push right now: assigned+owned pieces a peer lacks.
+    /// Iteration is in address order so runs are deterministic.
+    fn shares_due(&mut self) -> Vec<(u32, OmniAddress)> {
+        let mut due = Vec::new();
+        let mut peers: Vec<(OmniAddress, Inventory)> =
+            self.peers.iter().map(|(a, i)| (*a, *i)).collect();
+        peers.sort_by_key(|(a, _)| *a);
+        for (peer, inv) in &peers {
+            let peer = *peer;
+            for p in &self.assigned {
+                if self.my.has(*p)
+                    && self.originally_mine.has(*p)
+                    && !inv.has(*p)
+                    && !self.sent.contains(&(*p, peer))
+                {
+                    due.push((*p, peer));
+                }
+            }
+        }
+        for k in &due {
+            self.sent.insert(*k);
+        }
+        due
+    }
+
+    fn missing_piece(&self) -> Option<u32> {
+        (0..self.spec.pieces).find(|p| !self.my.has(*p))
+    }
+}
+
+fn omni_push_shares(st: &Rc<RefCell<OmniState>>, omni: &mut OmniCtl) {
+    let due = st.borrow_mut().shares_due();
+    let piece_bytes = st.borrow().spec.piece_bytes;
+    for (p, peer) in due {
+        let st2 = st.clone();
+        omni.send_data_sized(
+            vec![peer],
+            encode_piece(p),
+            piece_bytes,
+            Box::new(move |code, info, _| {
+                if code.is_failure() {
+                    // Allow a retry on the next inventory refresh.
+                    if let Some(dest) = info.destination() {
+                        st2.borrow_mut().sent.remove(&(p, dest));
+                    }
+                }
+            }),
+        );
+    }
+}
+
+fn omni_refresh_context(st: &Rc<RefCell<OmniState>>, omni: &mut OmniCtl) {
+    let (id, inv) = {
+        let s = st.borrow();
+        (s.context_id, s.my)
+    };
+    if let Some(id) = id {
+        omni.update_context(id, ContextParams::default(), inv.encode(), Box::new(|_, _, _| {}));
+    }
+}
+
+fn omni_fallback_next(st: &Rc<RefCell<OmniState>>, omni: &mut OmniCtl) {
+    let mut s = st.borrow_mut();
+    if s.fallback_piece.is_some() {
+        return;
+    }
+    if let Some(p) = s.missing_piece() {
+        s.fallback_piece = Some(p);
+        let bytes = s.spec.piece_bytes;
+        drop(s);
+        omni.infra_request(REQ_FALLBACK + p as u64, bytes, bytes);
+    }
+}
+
+/// Builds the Omni/SA-variant application initializer for one device.
+///
+/// `index`/`n` select the assignment; the returned report handle fills in as
+/// the simulation runs.
+pub fn omni_disseminate(
+    spec: FileSpec,
+    index: usize,
+    n: usize,
+) -> (impl FnOnce(&mut OmniCtl), SharedReport) {
+    assert!(spec.pieces <= 64, "inventory bitmap holds at most 64 pieces");
+    let report: SharedReport = Rc::new(RefCell::new(DisseminateReport::default()));
+    let assigned = spec.assignment(index, n);
+    let mut originally_mine = Inventory::default();
+    for p in &assigned {
+        originally_mine.add(*p);
+    }
+    let st = Rc::new(RefCell::new(OmniState {
+        spec,
+        assigned,
+        my: Inventory::default(),
+        originally_mine,
+        peers: HashMap::new(),
+        sent: HashSet::new(),
+        context_id: None,
+        fallback_piece: None,
+        report: report.clone(),
+    }));
+    let init = {
+        let st = st.clone();
+        move |omni: &mut OmniCtl| {
+            // Inventory as context: metadata before data.
+            let st_add = st.clone();
+            omni.add_context(
+                ContextParams::default(),
+                Inventory::default().encode(),
+                Box::new(move |code, info, _| {
+                    if code == omni_wire::StatusCode::AddContextSuccess {
+                        st_add.borrow_mut().context_id = info.context_id();
+                    }
+                }),
+            );
+            // Peers' inventories drive sharing.
+            let st_ctx = st.clone();
+            omni.request_context(Box::new(move |src, ctx, o| {
+                if let Some(inv) = Inventory::decode(ctx) {
+                    st_ctx.borrow_mut().peers.insert(src, inv);
+                    omni_push_shares(&st_ctx, o);
+                }
+            }));
+            // Incoming pieces.
+            let st_data = st.clone();
+            omni.request_data(Box::new(move |_src, data, o| {
+                if let Some(p) = decode_piece(data) {
+                    let fallback_was = {
+                        let mut s = st_data.borrow_mut();
+                        s.on_piece_acquired(p, true, o.now);
+                        if s.fallback_piece == Some(p) {
+                            s.fallback_piece = None;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if fallback_was {
+                        o.infra_cancel(REQ_FALLBACK + p as u64);
+                        omni_fallback_next(&st_data, o);
+                    }
+                    omni_refresh_context(&st_data, o);
+                    omni_push_shares(&st_data, o);
+                }
+            }));
+            // Infrastructure chunks: assigned share then fallback fetches.
+            let st_infra = st.clone();
+            omni.request_infra(Box::new(move |req, chunk, _received, done, o| {
+                if req == REQ_ASSIGNED {
+                    let piece = {
+                        let s = st_infra.borrow();
+                        s.assigned.get(chunk as usize).copied()
+                    };
+                    if let Some(p) = piece {
+                        st_infra.borrow_mut().on_piece_acquired(p, false, o.now);
+                        omni_refresh_context(&st_infra, o);
+                        omni_push_shares(&st_infra, o);
+                    }
+                    if done {
+                        omni_fallback_next(&st_infra, o);
+                    }
+                } else if req >= REQ_FALLBACK && done {
+                    let p = (req - REQ_FALLBACK) as u32;
+                    {
+                        let mut s = st_infra.borrow_mut();
+                        s.on_piece_acquired(p, false, o.now);
+                        s.fallback_piece = None;
+                    }
+                    omni_refresh_context(&st_infra, o);
+                    omni_push_shares(&st_infra, o);
+                    omni_fallback_next(&st_infra, o);
+                }
+            }));
+            // Kick off the assigned download.
+            let (total, chunk) = {
+                let s = st.borrow();
+                (s.assigned.len() as u64 * s.spec.piece_bytes, s.spec.piece_bytes)
+            };
+            if total > 0 {
+                omni.infra_request(REQ_ASSIGNED, total, chunk);
+            }
+        }
+    };
+    (init, report)
+}
+
+// ---------------------------------------------------------------------
+// SP variant (WiFi multicast)
+// ---------------------------------------------------------------------
+
+/// The SP Disseminate handler: inventory beacons + bulk multicast pieces +
+/// infrastructure fallback. One multicast transmission serves every peer —
+/// multicast's one advantage — but at the basic rate (paper §3.2: "existing
+/// implementations of multicast in 802.11 are slow").
+pub struct SpDisseminate {
+    spec: FileSpec,
+    assigned: Vec<u32>,
+    my: Inventory,
+    peers: HashMap<SpAddr, Inventory>,
+    multicast_done: HashSet<u32>,
+    mcast_busy: bool,
+    fallback_piece: Option<u32>,
+    report: SharedReport,
+}
+
+impl SpDisseminate {
+    /// Creates the handler for device `index` of `n`, returning the shared
+    /// report handle.
+    pub fn new(spec: FileSpec, index: usize, n: usize) -> (Self, SharedReport) {
+        assert!(spec.pieces <= 64);
+        let report: SharedReport = Rc::new(RefCell::new(DisseminateReport::default()));
+        let assigned = spec.assignment(index, n);
+        (
+            SpDisseminate {
+                spec,
+                assigned,
+                my: Inventory::default(),
+                peers: HashMap::new(),
+                multicast_done: HashSet::new(),
+                mcast_busy: false,
+                fallback_piece: None,
+                report: report.clone(),
+            },
+            report,
+        )
+    }
+
+    fn acquired(&mut self, p: u32, via_d2d: bool, now: SimTime) {
+        if !self.my.add(p) {
+            return;
+        }
+        let mut rep = self.report.borrow_mut();
+        if via_d2d {
+            rep.pieces_via_d2d += 1;
+        } else {
+            rep.pieces_via_infra += 1;
+        }
+        if self.my.complete(self.spec.pieces) && rep.completed_at.is_none() {
+            rep.completed_at = Some(now);
+        }
+    }
+
+    fn refresh_beacon(&self, ctl: &mut SpCtl) {
+        ctl.push(SpOp::SetBeacon {
+            payload: self.my.encode(),
+            interval: SimDuration::from_millis(500),
+        });
+    }
+
+    /// Multicasts the next due piece, if the channel slot is free.
+    fn pump_multicast(&mut self, ctl: &mut SpCtl) {
+        if self.mcast_busy {
+            return;
+        }
+        let due = self.assigned.iter().copied().find(|p| {
+            self.my.has(*p)
+                && !self.multicast_done.contains(p)
+                && self.peers.values().any(|inv| !inv.has(*p))
+        });
+        if let Some(p) = due {
+            self.multicast_done.insert(p);
+            self.mcast_busy = true;
+            ctl.push(SpOp::McastBulk { payload: encode_piece(p), wire_len: self.spec.piece_bytes });
+        }
+    }
+
+    fn pump_fallback(&mut self, ctl: &mut SpCtl) {
+        if self.fallback_piece.is_some() {
+            return;
+        }
+        if let Some(p) = (0..self.spec.pieces).find(|p| !self.my.has(*p)) {
+            self.fallback_piece = Some(p);
+            ctl.push(SpOp::InfraRequest {
+                req: REQ_FALLBACK + p as u64,
+                total: self.spec.piece_bytes,
+                chunk: self.spec.piece_bytes,
+            });
+        }
+    }
+}
+
+impl SpHandler for SpDisseminate {
+    fn on_start(&mut self, ctl: &mut SpCtl) {
+        self.refresh_beacon(ctl);
+        let total = self.assigned.len() as u64 * self.spec.piece_bytes;
+        if total > 0 {
+            ctl.push(SpOp::InfraRequest {
+                req: REQ_ASSIGNED,
+                total,
+                chunk: self.spec.piece_bytes,
+            });
+        }
+    }
+
+    fn on_beacon(&mut self, from: SpAddr, payload: &Bytes, ctl: &mut SpCtl) {
+        if let Some(inv) = Inventory::decode(payload) {
+            self.peers.insert(from, inv);
+            self.pump_multicast(ctl);
+        }
+    }
+
+    fn on_data(&mut self, _from: SpAddr, payload: &Bytes, ctl: &mut SpCtl) {
+        if let Some(p) = decode_piece(payload) {
+            let was_fallback = self.fallback_piece == Some(p);
+            self.acquired(p, true, ctl.now);
+            if was_fallback {
+                self.fallback_piece = None;
+                self.pump_fallback(ctl);
+            }
+            self.refresh_beacon(ctl);
+            self.pump_multicast(ctl);
+        }
+    }
+
+    fn on_sent(&mut self, ctl: &mut SpCtl) {
+        self.mcast_busy = false;
+        self.pump_multicast(ctl);
+    }
+
+    fn on_infra(&mut self, req: u64, received: u64, done: bool, ctl: &mut SpCtl) {
+        if req == REQ_ASSIGNED {
+            let idx = (received / self.spec.piece_bytes).saturating_sub(1) as usize;
+            if let Some(&p) = self.assigned.get(idx) {
+                self.acquired(p, false, ctl.now);
+                self.refresh_beacon(ctl);
+                self.pump_multicast(ctl);
+            }
+            if done {
+                self.pump_fallback(ctl);
+            }
+        } else if req >= REQ_FALLBACK && done {
+            let p = (req - REQ_FALLBACK) as u32;
+            self.acquired(p, false, ctl.now);
+            self.fallback_piece = None;
+            self.refresh_beacon(ctl);
+            self.pump_multicast(ctl);
+            self.pump_fallback(ctl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_partitions_the_file() {
+        let spec = FileSpec::PAPER_30MB;
+        let mut seen = HashSet::new();
+        for i in 0..3 {
+            for p in spec.assignment(i, 3) {
+                assert!(seen.insert(p), "piece {p} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 30);
+        assert_eq!(spec.total_bytes(), 30_000_000);
+    }
+
+    #[test]
+    fn inventory_bitmap_roundtrips() {
+        let mut inv = Inventory::default();
+        assert!(inv.add(0));
+        assert!(inv.add(29));
+        assert!(!inv.add(29), "re-adding is not new");
+        assert_eq!(inv.count(), 2);
+        let decoded = Inventory::decode(&inv.encode()).unwrap();
+        assert_eq!(decoded, inv);
+        assert!(decoded.has(0) && decoded.has(29) && !decoded.has(5));
+    }
+
+    #[test]
+    fn inventory_rejects_foreign_payloads() {
+        assert_eq!(Inventory::decode(b"hello"), None);
+        assert_eq!(Inventory::decode(&encode_piece(3)), None);
+    }
+
+    #[test]
+    fn piece_descriptor_roundtrips() {
+        assert_eq!(decode_piece(&encode_piece(17)), Some(17));
+        assert_eq!(decode_piece(b"junk!"), None);
+    }
+
+    #[test]
+    fn completion_requires_all_pieces() {
+        let spec = FileSpec { pieces: 3, piece_bytes: 10 };
+        let mut inv = Inventory::default();
+        inv.add(0);
+        inv.add(1);
+        assert!(!inv.complete(spec.pieces));
+        inv.add(2);
+        assert!(inv.complete(spec.pieces));
+    }
+}

@@ -1,0 +1,21 @@
+//! Evaluation applications for the Omni reproduction (paper §2.2, §4.3).
+//!
+//! * [`disseminate`] — a Disseminate-like D2D media-sharing application:
+//!   co-located devices download pieces of a file from a (mock)
+//!   infrastructure network and share them device-to-device, exchanging
+//!   metadata (piece inventories) before data (paper §4.3, Table 5).
+//! * [`prophet`] — the PRoPHET DTN router layered over the middleware:
+//!   probabilistic delivery predictabilities with encounter updates, aging,
+//!   and transitivity, summary vectors shared as context, bundles forwarded
+//!   as data (paper §4.3, Figure 7).
+//! * [`tourism`] — the smart-city tourism scenario that motivates the paper
+//!   (§2.2, §3): landmark beacons advertising interactive visualizations,
+//!   tourists expressing interests, and bulk media streamed over the best
+//!   available technology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disseminate;
+pub mod prophet;
+pub mod tourism;

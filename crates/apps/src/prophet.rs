@@ -1,0 +1,651 @@
+//! PRoPHET — Probabilistic Routing Protocol using History of Encounters and
+//! Transitivity (Lindgren et al., 2003), layered over the middleware as in
+//! paper §4.3: "information is buffered by intermediate devices and then
+//! forwarded when communication links are available. PRoPHET selects devices
+//! as carriers based on a local assessment of their potential to encounter
+//! the final destination. To assess these conditions, devices continuously
+//! share summaries of their historical encounters with neighboring peers."
+//!
+//! Summaries ride as Omni *context* (small, periodic); bundles ride as
+//! *data* (directed, potentially large). The router core
+//! ([`ProphetTable`]) is pure and separately tested.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use omni_baselines::sp::{SpAddr, SpCtl, SpHandler, SpOp};
+use omni_core::{ContextParams, OmniCtl};
+use omni_sim::{SimDuration, SimTime};
+use omni_wire::{MeshAddress, OmniAddress};
+
+const TAG_SUMMARY: u8 = b'S';
+const TAG_BUNDLE: u8 = b'F';
+
+/// PRoPHET parameters (defaults from the original paper).
+#[derive(Debug, Clone, Copy)]
+pub struct ProphetConfig {
+    /// Encounter initialization constant `P_init`.
+    pub p_init: f64,
+    /// Transitivity scaling constant `β`.
+    pub beta: f64,
+    /// Aging constant `γ`, applied once per aging interval.
+    pub gamma: f64,
+    /// How often predictabilities age.
+    pub aging_interval: SimDuration,
+    /// Minimum gap between context sightings that counts as a *new*
+    /// encounter (re-hearing a neighbor's beacon is not a new encounter).
+    pub encounter_gap: SimDuration,
+}
+
+impl Default for ProphetConfig {
+    fn default() -> Self {
+        ProphetConfig {
+            p_init: 0.75,
+            beta: 0.25,
+            gamma: 0.98,
+            aging_interval: SimDuration::from_secs(1),
+            encounter_gap: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// The delivery-predictability table: `P(self, X)` per known destination.
+#[derive(Debug, Clone, Default)]
+pub struct ProphetTable {
+    p: HashMap<OmniAddress, f64>,
+}
+
+impl ProphetTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds a predictability (e.g. prior encounter history).
+    pub fn seed(&mut self, dest: OmniAddress, p: f64) {
+        self.p.insert(dest, p.clamp(0.0, 1.0));
+    }
+
+    /// `P(self, x)`, zero if unknown.
+    pub fn get(&self, x: OmniAddress) -> f64 {
+        self.p.get(&x).copied().unwrap_or(0.0)
+    }
+
+    /// Encounter update: `P = P + (1 − P)·P_init`.
+    pub fn encounter(&mut self, peer: OmniAddress, cfg: &ProphetConfig) {
+        let p = self.get(peer);
+        self.p.insert(peer, p + (1.0 - p) * cfg.p_init);
+    }
+
+    /// Aging: `P = P·γᵏ` for `k` elapsed intervals.
+    pub fn age(&mut self, intervals: u32, cfg: &ProphetConfig) {
+        let factor = cfg.gamma.powi(intervals as i32);
+        for v in self.p.values_mut() {
+            *v *= factor;
+        }
+        self.p.retain(|_, v| *v > 1e-6);
+    }
+
+    /// Transitivity through `peer`:
+    /// `P(self, dest) = max(P(self, dest), P(self, peer)·P(peer, dest)·β)`.
+    pub fn transitivity(
+        &mut self,
+        peer: OmniAddress,
+        peer_summary: &[(OmniAddress, f64)],
+        cfg: &ProphetConfig,
+    ) {
+        let p_peer = self.get(peer);
+        for &(dest, p_pd) in peer_summary {
+            if dest == peer {
+                continue;
+            }
+            let candidate = p_peer * p_pd * cfg.beta;
+            let current = self.get(dest);
+            if candidate > current {
+                self.p.insert(dest, candidate);
+            }
+        }
+    }
+
+    /// The summary vector to advertise (largest predictabilities first,
+    /// truncated to `max` entries so it fits a BLE advertisement).
+    pub fn summary(&self, max: usize) -> Vec<(OmniAddress, f64)> {
+        let mut v: Vec<(OmniAddress, f64)> = self.p.iter().map(|(a, p)| (*a, *p)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.truncate(max);
+        v
+    }
+}
+
+/// A store-carry-forward bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bundle {
+    /// Bundle id.
+    pub id: u32,
+    /// Final destination.
+    pub dest: OmniAddress,
+    /// Payload size in bytes.
+    pub size: u64,
+}
+
+/// Encodes a summary vector as a context payload.
+pub fn encode_summary(summary: &[(OmniAddress, f64)]) -> Bytes {
+    let mut b = BytesMut::with_capacity(2 + summary.len() * 9);
+    b.put_u8(TAG_SUMMARY);
+    b.put_u8(summary.len() as u8);
+    for (addr, p) in summary {
+        b.put_slice(&addr.to_bytes());
+        b.put_u8((p.clamp(0.0, 1.0) * 255.0) as u8);
+    }
+    b.freeze()
+}
+
+/// Decodes a summary vector context payload.
+pub fn decode_summary(bytes: &[u8]) -> Option<Vec<(OmniAddress, f64)>> {
+    if bytes.len() < 2 || bytes[0] != TAG_SUMMARY {
+        return None;
+    }
+    let n = bytes[1] as usize;
+    if bytes.len() != 2 + n * 9 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = 2 + i * 9;
+        let mut addr = [0u8; 8];
+        addr.copy_from_slice(&bytes[off..off + 8]);
+        out.push((OmniAddress::from_bytes(addr), bytes[off + 8] as f64 / 255.0));
+    }
+    Some(out)
+}
+
+/// Encodes a bundle transfer descriptor.
+pub fn encode_bundle(b: &Bundle) -> Bytes {
+    let mut buf = BytesMut::with_capacity(17);
+    buf.put_u8(TAG_BUNDLE);
+    buf.put_u32(b.id);
+    buf.put_slice(&b.dest.to_bytes());
+    buf.put_u32(b.size as u32);
+    buf.freeze()
+}
+
+/// Decodes a bundle transfer descriptor.
+pub fn decode_bundle(bytes: &[u8]) -> Option<Bundle> {
+    if bytes.len() != 17 || bytes[0] != TAG_BUNDLE {
+        return None;
+    }
+    let id = u32::from_be_bytes(bytes[1..5].try_into().ok()?);
+    let mut addr = [0u8; 8];
+    addr.copy_from_slice(&bytes[5..13]);
+    let size = u32::from_be_bytes(bytes[13..17].try_into().ok()?) as u64;
+    Some(Bundle { id, dest: OmniAddress::from_bytes(addr), size })
+}
+
+/// Shared experiment outcome for one device.
+#[derive(Debug, Default, Clone)]
+pub struct ProphetReport {
+    /// Bundles delivered to this device (it was the destination), with
+    /// arrival time.
+    pub delivered: Vec<(u32, SimTime)>,
+    /// Bundles this device forwarded to a better carrier or the destination.
+    pub forwards: u32,
+}
+
+/// Shared handle onto a device's report.
+pub type SharedProphetReport = Rc<RefCell<ProphetReport>>;
+
+/// Forwarding decision shared by all variants: forward when the peer *is*
+/// the destination, or is a strictly better carrier.
+pub fn should_forward(own_p: f64, peer: OmniAddress, peer_p: f64, bundle: &Bundle) -> bool {
+    peer == bundle.dest || peer_p > own_p
+}
+
+// ---------------------------------------------------------------------
+// Omni / SA variant
+// ---------------------------------------------------------------------
+
+struct OmniProphetState {
+    own: OmniAddress,
+    cfg: ProphetConfig,
+    table: ProphetTable,
+    bundles: Vec<Bundle>,
+    forwarded_to: HashMap<(u32, OmniAddress), bool>,
+    last_heard: HashMap<OmniAddress, SimTime>,
+    peer_summaries: HashMap<OmniAddress, Vec<(OmniAddress, f64)>>,
+    context_id: Option<u64>,
+    report: SharedProphetReport,
+}
+
+fn prophet_refresh_context(st: &Rc<RefCell<OmniProphetState>>, omni: &mut OmniCtl) {
+    let (id, payload) = {
+        let s = st.borrow();
+        (s.context_id, encode_summary(&s.table.summary(4)))
+    };
+    if let Some(id) = id {
+        omni.update_context(id, ContextParams::default(), payload, Box::new(|_, _, _| {}));
+    }
+}
+
+fn prophet_try_forward(st: &Rc<RefCell<OmniProphetState>>, peer: OmniAddress, omni: &mut OmniCtl) {
+    let to_send: Vec<Bundle> = {
+        let s = st.borrow();
+        let peer_summary = s.peer_summaries.get(&peer).cloned().unwrap_or_default();
+        let peer_p = |dest: OmniAddress| {
+            peer_summary.iter().find(|(a, _)| *a == dest).map(|(_, p)| *p).unwrap_or(0.0)
+        };
+        s.bundles
+            .iter()
+            .filter(|b| {
+                !s.forwarded_to.contains_key(&(b.id, peer))
+                    && should_forward(s.table.get(b.dest), peer, peer_p(b.dest), b)
+            })
+            .copied()
+            .collect()
+    };
+    for bundle in to_send {
+        st.borrow_mut().forwarded_to.insert((bundle.id, peer), true);
+        let st2 = st.clone();
+        omni.send_data_sized(
+            vec![peer],
+            encode_bundle(&bundle),
+            bundle.size,
+            Box::new(move |code, _, _| {
+                if code == omni_wire::StatusCode::SendDataSuccess {
+                    st2.borrow_mut().report.borrow_mut().forwards += 1;
+                } else {
+                    // Allow a retry at the next encounter.
+                    st2.borrow_mut().forwarded_to.remove(&(bundle.id, peer));
+                }
+            }),
+        );
+    }
+}
+
+/// Builds the Omni/SA-variant PRoPHET node.
+///
+/// `initial_bundles` are buffered at start; `seeds` pre-populate encounter
+/// history (e.g. "B has met C before").
+pub fn omni_prophet(
+    own: OmniAddress,
+    cfg: ProphetConfig,
+    initial_bundles: Vec<Bundle>,
+    seeds: Vec<(OmniAddress, f64)>,
+) -> (impl FnOnce(&mut OmniCtl), SharedProphetReport) {
+    let report: SharedProphetReport = Rc::new(RefCell::new(ProphetReport::default()));
+    let mut table = ProphetTable::new();
+    for (dest, p) in seeds {
+        table.seed(dest, p);
+    }
+    let st = Rc::new(RefCell::new(OmniProphetState {
+        own,
+        cfg,
+        table,
+        bundles: initial_bundles,
+        forwarded_to: HashMap::new(),
+        last_heard: HashMap::new(),
+        peer_summaries: HashMap::new(),
+        context_id: None,
+        report: report.clone(),
+    }));
+    let init = {
+        let st = st.clone();
+        move |omni: &mut OmniCtl| {
+            let st_add = st.clone();
+            let payload = encode_summary(&st.borrow().table.summary(4));
+            omni.add_context(
+                ContextParams::default(),
+                payload,
+                Box::new(move |code, info, _| {
+                    if code == omni_wire::StatusCode::AddContextSuccess {
+                        st_add.borrow_mut().context_id = info.context_id();
+                    }
+                }),
+            );
+            let st_ctx = st.clone();
+            omni.request_context(Box::new(move |src, ctx, o| {
+                let Some(summary) = decode_summary(ctx) else {
+                    return;
+                };
+                let is_new_encounter = {
+                    let mut s = st_ctx.borrow_mut();
+                    let gap = s.cfg.encounter_gap;
+                    let new = s
+                        .last_heard
+                        .get(&src)
+                        .map(|t| o.now.saturating_since(*t) > gap)
+                        .unwrap_or(true);
+                    s.last_heard.insert(src, o.now);
+                    s.peer_summaries.insert(src, summary.clone());
+                    if new {
+                        let cfg = s.cfg;
+                        s.table.encounter(src, &cfg);
+                        s.table.transitivity(src, &summary, &cfg);
+                    }
+                    new
+                };
+                if is_new_encounter {
+                    prophet_refresh_context(&st_ctx, o);
+                }
+                prophet_try_forward(&st_ctx, src, o);
+            }));
+            let st_data = st.clone();
+            omni.request_data(Box::new(move |_src, data, o| {
+                let Some(bundle) = decode_bundle(data) else {
+                    return;
+                };
+                let mut s = st_data.borrow_mut();
+                if bundle.dest == s.own {
+                    s.report.borrow_mut().delivered.push((bundle.id, o.now));
+                } else if !s.bundles.iter().any(|b| b.id == bundle.id) {
+                    s.bundles.push(bundle); // become a carrier
+                }
+            }));
+            // Aging tick.
+            let st_age = st.clone();
+            omni.request_timers(Box::new(move |token, o| {
+                if token == 1 {
+                    let interval = {
+                        let mut s = st_age.borrow_mut();
+                        let cfg = s.cfg;
+                        s.table.age(1, &cfg);
+                        cfg.aging_interval
+                    };
+                    prophet_refresh_context(&st_age, o);
+                    o.set_timer(1, interval);
+                }
+            }));
+            omni.set_timer(1, cfg.aging_interval);
+        }
+    };
+    (init, report)
+}
+
+// ---------------------------------------------------------------------
+// SP variant (WiFi)
+// ---------------------------------------------------------------------
+
+/// SP PRoPHET over a [`omni_baselines::sp::SpWifiDevice`]: summaries ride
+/// multicast beacons; each forward re-establishes network connectivity (the
+/// hand-rolled leave/scan/join sequence) before the TCP transfer — the cost
+/// Figure 7 charges the non-integrated approaches.
+pub struct SpProphet {
+    own: OmniAddress,
+    cfg: ProphetConfig,
+    table: ProphetTable,
+    bundles: Vec<Bundle>,
+    forwarded_to: HashMap<(u32, OmniAddress), bool>,
+    last_heard: HashMap<OmniAddress, SimTime>,
+    /// omni identity → mesh address, learned from summaries' sender field.
+    mesh_of: HashMap<OmniAddress, MeshAddress>,
+    peer_summaries: HashMap<OmniAddress, Vec<(OmniAddress, f64)>>,
+    /// Forwards waiting for the establish sequence.
+    pending_establish: Vec<(Bundle, MeshAddress)>,
+    establishing: bool,
+    report: SharedProphetReport,
+}
+
+impl SpProphet {
+    /// Creates the SP PRoPHET handler.
+    pub fn new(
+        own: OmniAddress,
+        cfg: ProphetConfig,
+        initial_bundles: Vec<Bundle>,
+        seeds: Vec<(OmniAddress, f64)>,
+    ) -> (Self, SharedProphetReport) {
+        let report: SharedProphetReport = Rc::new(RefCell::new(ProphetReport::default()));
+        let mut table = ProphetTable::new();
+        for (dest, p) in seeds {
+            table.seed(dest, p);
+        }
+        (
+            SpProphet {
+                own,
+                cfg,
+                table,
+                bundles: initial_bundles,
+                forwarded_to: HashMap::new(),
+                last_heard: HashMap::new(),
+                mesh_of: HashMap::new(),
+                peer_summaries: HashMap::new(),
+                pending_establish: Vec::new(),
+                establishing: false,
+                report: report.clone(),
+            },
+            report,
+        )
+    }
+
+    /// SP beacons carry `own omni address ‖ summary` so receivers can map
+    /// mesh sources to stable identities.
+    fn beacon_payload(&self) -> Bytes {
+        let summary = encode_summary(&self.table.summary(4));
+        let mut b = BytesMut::with_capacity(8 + summary.len());
+        b.put_slice(&self.own.to_bytes());
+        b.put_slice(&summary);
+        b.freeze()
+    }
+
+    fn refresh_beacon(&self, ctl: &mut SpCtl) {
+        ctl.push(SpOp::SetBeacon {
+            payload: self.beacon_payload(),
+            interval: SimDuration::from_millis(500),
+        });
+    }
+
+    fn try_forward(&mut self, peer: OmniAddress, ctl: &mut SpCtl) {
+        let Some(&mesh) = self.mesh_of.get(&peer) else {
+            return;
+        };
+        let peer_summary = self.peer_summaries.get(&peer).cloned().unwrap_or_default();
+        let peer_p = |dest: OmniAddress| {
+            peer_summary.iter().find(|(a, _)| *a == dest).map(|(_, p)| *p).unwrap_or(0.0)
+        };
+        let due: Vec<Bundle> = self
+            .bundles
+            .iter()
+            .filter(|b| {
+                !self.forwarded_to.contains_key(&(b.id, peer))
+                    && should_forward(self.table.get(b.dest), peer, peer_p(b.dest), b)
+            })
+            .copied()
+            .collect();
+        for bundle in due {
+            self.forwarded_to.insert((bundle.id, peer), true);
+            self.pending_establish.push((bundle, mesh));
+        }
+        if !self.pending_establish.is_empty() && !self.establishing {
+            self.establishing = true;
+            ctl.push(SpOp::EstablishFresh);
+        }
+    }
+}
+
+impl SpHandler for SpProphet {
+    fn on_start(&mut self, ctl: &mut SpCtl) {
+        self.refresh_beacon(ctl);
+        ctl.set_timer(1, self.cfg.aging_interval);
+    }
+
+    fn on_beacon(&mut self, from: SpAddr, payload: &Bytes, ctl: &mut SpCtl) {
+        let SpAddr::Mesh(mesh) = from else {
+            return;
+        };
+        if payload.len() < 8 {
+            return;
+        }
+        let mut addr = [0u8; 8];
+        addr.copy_from_slice(&payload[..8]);
+        let peer = OmniAddress::from_bytes(addr);
+        let Some(summary) = decode_summary(&payload[8..]) else {
+            return;
+        };
+        self.mesh_of.insert(peer, mesh);
+        let gap = self.cfg.encounter_gap;
+        let new_encounter = self
+            .last_heard
+            .get(&peer)
+            .map(|t| ctl.now.saturating_since(*t) > gap)
+            .unwrap_or(true);
+        self.last_heard.insert(peer, ctl.now);
+        self.peer_summaries.insert(peer, summary.clone());
+        if new_encounter {
+            let cfg = self.cfg;
+            self.table.encounter(peer, &cfg);
+            self.table.transitivity(peer, &summary, &cfg);
+            self.refresh_beacon(ctl);
+        }
+        self.try_forward(peer, ctl);
+    }
+
+    fn on_established(&mut self, ctl: &mut SpCtl) {
+        self.establishing = false;
+        for (bundle, mesh) in std::mem::take(&mut self.pending_establish) {
+            self.report.borrow_mut().forwards += 1;
+            ctl.push(SpOp::TcpSend {
+                to: mesh,
+                payload: encode_bundle(&bundle),
+                wire_len: bundle.size,
+            });
+        }
+    }
+
+    fn on_data(&mut self, _from: SpAddr, payload: &Bytes, ctl: &mut SpCtl) {
+        let Some(bundle) = decode_bundle(payload) else {
+            return;
+        };
+        if bundle.dest == self.own {
+            self.report.borrow_mut().delivered.push((bundle.id, ctl.now));
+        } else if !self.bundles.iter().any(|b| b.id == bundle.id) {
+            self.bundles.push(bundle);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctl: &mut SpCtl) {
+        if token == 1 {
+            let cfg = self.cfg;
+            self.table.age(1, &cfg);
+            self.refresh_beacon(ctl);
+            ctl.set_timer(1, cfg.aging_interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u64) -> OmniAddress {
+        OmniAddress::from_u64(x)
+    }
+
+    #[test]
+    fn encounter_update_converges_toward_one() {
+        let cfg = ProphetConfig::default();
+        let mut t = ProphetTable::new();
+        t.encounter(a(1), &cfg);
+        assert!((t.get(a(1)) - 0.75).abs() < 1e-12);
+        t.encounter(a(1), &cfg);
+        assert!((t.get(a(1)) - 0.9375).abs() < 1e-12);
+        for _ in 0..50 {
+            t.encounter(a(1), &cfg);
+        }
+        assert!(t.get(a(1)) < 1.0 + 1e-12);
+        assert!(t.get(a(1)) > 0.999);
+    }
+
+    #[test]
+    fn aging_decays_predictabilities() {
+        let cfg = ProphetConfig::default();
+        let mut t = ProphetTable::new();
+        t.seed(a(1), 0.8);
+        t.age(10, &cfg);
+        assert!((t.get(a(1)) - 0.8 * 0.98f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aging_evicts_negligible_entries() {
+        let cfg = ProphetConfig::default();
+        let mut t = ProphetTable::new();
+        t.seed(a(1), 0.5);
+        t.age(2000, &cfg);
+        assert_eq!(t.get(a(1)), 0.0);
+        assert!(t.summary(10).is_empty());
+    }
+
+    #[test]
+    fn transitivity_takes_the_max() {
+        let cfg = ProphetConfig::default();
+        let mut t = ProphetTable::new();
+        t.seed(a(2), 0.8); // P(self, B)
+        t.transitivity(a(2), &[(a(3), 0.9)], &cfg);
+        // P(self, C) = 0.8 * 0.9 * 0.25 = 0.18.
+        assert!((t.get(a(3)) - 0.18).abs() < 1e-12);
+        // A direct, higher value is not lowered.
+        t.seed(a(3), 0.5);
+        t.transitivity(a(2), &[(a(3), 0.9)], &cfg);
+        assert!((t.get(a(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_sorted_and_truncated() {
+        let mut t = ProphetTable::new();
+        for i in 0..10 {
+            t.seed(a(i), i as f64 / 10.0);
+        }
+        let s = t.summary(3);
+        assert_eq!(s.len(), 3);
+        assert!(s[0].1 >= s[1].1 && s[1].1 >= s[2].1);
+        assert_eq!(s[0].0, a(9));
+    }
+
+    #[test]
+    fn summary_encoding_roundtrips_with_quantization() {
+        let summary = vec![(a(1), 0.75), (a(2), 0.25)];
+        let decoded = decode_summary(&encode_summary(&summary)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        for ((da, dp), (oa, op)) in decoded.iter().zip(&summary) {
+            assert_eq!(da, oa);
+            assert!((dp - op).abs() < 1.0 / 255.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_decoding_rejects_malformed_input() {
+        assert_eq!(decode_summary(&[]), None);
+        assert_eq!(decode_summary(&[TAG_SUMMARY, 3, 0, 0]), None);
+        assert_eq!(decode_summary(b"xxxx"), None);
+    }
+
+    #[test]
+    fn bundle_encoding_roundtrips() {
+        let b = Bundle { id: 42, dest: a(0xC), size: 1024 };
+        assert_eq!(decode_bundle(&encode_bundle(&b)), Some(b));
+        assert_eq!(decode_bundle(b"nope"), None);
+    }
+
+    #[test]
+    fn forwarding_rule_prefers_destination_and_better_carriers() {
+        let b = Bundle { id: 1, dest: a(3), size: 10 };
+        // Peer IS the destination.
+        assert!(should_forward(0.9, a(3), 0.0, &b));
+        // Peer is a better carrier.
+        assert!(should_forward(0.1, a(2), 0.5, &b));
+        // Peer is worse: keep carrying.
+        assert!(!should_forward(0.5, a(2), 0.1, &b));
+        // Equal is not better.
+        assert!(!should_forward(0.5, a(2), 0.5, &b));
+    }
+
+    #[test]
+    fn summary_fits_ble_advertisement() {
+        let mut t = ProphetTable::new();
+        for i in 0..4 {
+            t.seed(a(i), 0.5);
+        }
+        let encoded = encode_summary(&t.summary(4));
+        // 2 + 4*9 = 38 bytes; with the 9-byte packed header: 47 ≤ 64.
+        assert!(encoded.len() + 9 <= 64);
+    }
+}

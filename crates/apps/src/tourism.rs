@@ -1,0 +1,177 @@
+//! The smart-city tourism scenario (paper §2.2, §3, Figure 3).
+//!
+//! A tour group walks through a digitally enhanced city:
+//!
+//! * **landmark beacons** advertise an interactive visualization service as
+//!   context;
+//! * **tourist devices** advertise their interest, discover landmarks, and
+//!   request the (bulky, dynamic) visualization, which streams over the best
+//!   available data technology;
+//! * the **tour guide** streams periodic audio chunks to every tourist.
+//!
+//! "At no point must either side manually perform neighbor discovery, manage
+//! connections, or select the communication technology to use" (paper §3.1)
+//! — the application below is written purely against the Developer API.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use omni_core::{ContextParams, OmniCtl};
+use omni_sim::{SimDuration, SimTime};
+use omni_wire::OmniAddress;
+
+/// Context advertised by a landmark.
+pub const LANDMARK_SERVICE: &[u8] = b"svc:landmark-visualization";
+/// Context advertised by a tourist.
+pub const TOURIST_INTEREST: &[u8] = b"interest:landmark-media";
+/// Context advertised by the guide.
+pub const GUIDE_SERVICE: &[u8] = b"svc:tour-audio";
+
+/// Request sent by a tourist to a landmark.
+pub const VIS_REQUEST: &[u8] = b"req:visualization";
+/// Prefix of the landmark's streamed reply.
+pub const VIS_DATA: &[u8] = b"vis:";
+/// Prefix of the guide's audio chunks.
+pub const AUDIO_DATA: &[u8] = b"audio:";
+
+/// Default size of a streamed visualization (2 MB of "dynamic, interactive"
+/// media).
+pub const VIS_BYTES: u64 = 2_000_000;
+/// Default size of one audio chunk.
+pub const AUDIO_CHUNK_BYTES: u64 = 40_000;
+
+/// What happened on a tourist's device.
+#[derive(Debug, Default, Clone)]
+pub struct TouristReport {
+    /// Landmarks discovered (by address) with discovery time.
+    pub landmarks: Vec<(OmniAddress, SimTime)>,
+    /// Visualizations received, with the landmark and the arrival time.
+    pub visualizations: Vec<(OmniAddress, SimTime)>,
+    /// Audio chunks received from the guide.
+    pub audio_chunks: u32,
+}
+
+/// Shared handle onto a tourist's report.
+pub type SharedTouristReport = Rc<RefCell<TouristReport>>;
+
+/// Builds the tourist application: advertise interest, request a
+/// visualization from every landmark discovered, count the guide's audio.
+pub fn tourist(guide: Option<OmniAddress>) -> (impl FnOnce(&mut OmniCtl), SharedTouristReport) {
+    let report: SharedTouristReport = Rc::new(RefCell::new(TouristReport::default()));
+    let requested: Rc<RefCell<HashSet<OmniAddress>>> = Rc::new(RefCell::new(HashSet::new()));
+    let init = {
+        let report = report.clone();
+        move |omni: &mut OmniCtl| {
+            omni.add_context(
+                ContextParams::default(),
+                Bytes::from_static(TOURIST_INTEREST),
+                Box::new(|_, _, _| {}),
+            );
+            let rep = report.clone();
+            let req = requested.clone();
+            omni.request_context(Box::new(move |src, ctx, o| {
+                if ctx.as_ref() == LANDMARK_SERVICE && req.borrow_mut().insert(src) {
+                    rep.borrow_mut().landmarks.push((src, o.now));
+                    o.send_data(vec![src], Bytes::from_static(VIS_REQUEST), Box::new(|_, _, _| {}));
+                }
+            }));
+            let rep = report.clone();
+            omni.request_data(Box::new(move |src, data, o| {
+                if data.starts_with(VIS_DATA) {
+                    rep.borrow_mut().visualizations.push((src, o.now));
+                } else if data.starts_with(AUDIO_DATA) {
+                    let from_guide = guide.map(|g| g == src).unwrap_or(true);
+                    if from_guide {
+                        rep.borrow_mut().audio_chunks += 1;
+                    }
+                }
+            }));
+        }
+    };
+    (init, report)
+}
+
+/// Builds the landmark application: advertise the service; stream the
+/// visualization to whoever asks.
+///
+/// A request can arrive (over BLE) before the requester's address beacon has
+/// carried its WiFi-Mesh address, in which case the bulk stream momentarily
+/// has no applicable technology — the landmark retries on a short timer
+/// until neighbor discovery catches up.
+pub fn landmark() -> impl FnOnce(&mut OmniCtl) {
+    let pending: Rc<RefCell<Vec<OmniAddress>>> = Rc::new(RefCell::new(Vec::new()));
+    fn stream_to(src: OmniAddress, pending: &Rc<RefCell<Vec<OmniAddress>>>, o: &mut OmniCtl) {
+        let pend = pending.clone();
+        o.send_data_sized(
+            vec![src],
+            Bytes::from_static(b"vis:historic-overlay"),
+            VIS_BYTES,
+            Box::new(move |code, info, o2| {
+                if code.is_failure() {
+                    if let Some(dest) = info.destination() {
+                        pend.borrow_mut().push(dest);
+                        o2.set_timer(1, SimDuration::from_millis(600));
+                    }
+                }
+            }),
+        );
+    }
+    move |omni: &mut OmniCtl| {
+        omni.add_context(
+            ContextParams::default(),
+            Bytes::from_static(LANDMARK_SERVICE),
+            Box::new(|_, _, _| {}),
+        );
+        let pend = pending.clone();
+        omni.request_data(Box::new(move |src, data, o| {
+            if data.as_ref() == VIS_REQUEST {
+                stream_to(src, &pend, o);
+            }
+        }));
+        let pend = pending.clone();
+        omni.request_timers(Box::new(move |token, o| {
+            if token == 1 {
+                for src in pend.borrow_mut().drain(..).collect::<Vec<_>>() {
+                    stream_to(src, &pend, o);
+                }
+            }
+        }));
+    }
+}
+
+/// Builds the guide application: advertise the audio service and stream a
+/// chunk to every known tourist each `interval`.
+pub fn guide(interval: SimDuration) -> impl FnOnce(&mut OmniCtl) {
+    let tourists: Rc<RefCell<HashSet<OmniAddress>>> = Rc::new(RefCell::new(HashSet::new()));
+    move |omni: &mut OmniCtl| {
+        omni.add_context(
+            ContextParams::default(),
+            Bytes::from_static(GUIDE_SERVICE),
+            Box::new(|_, _, _| {}),
+        );
+        let known = tourists.clone();
+        omni.request_context(Box::new(move |src, ctx, _| {
+            if ctx.as_ref() == TOURIST_INTEREST {
+                known.borrow_mut().insert(src);
+            }
+        }));
+        let known = tourists.clone();
+        omni.request_timers(Box::new(move |token, o| {
+            if token == 1 {
+                let listeners: Vec<OmniAddress> = known.borrow().iter().copied().collect();
+                if !listeners.is_empty() {
+                    o.send_data_sized(
+                        listeners,
+                        Bytes::from_static(b"audio:chunk"),
+                        AUDIO_CHUNK_BYTES,
+                        Box::new(|_, _, _| {}),
+                    );
+                }
+                o.set_timer(1, interval);
+            }
+        }));
+        omni.set_timer(1, interval);
+    }
+}

@@ -1,0 +1,18 @@
+//! Baseline implementations for the Omni evaluation (paper §4).
+//!
+//! * [`sa`] — the **State of the Art**: a generalized multi-radio middleware
+//!   in the mold of ubiSOAP/Haggle. It shares Omni's developer API and
+//!   technology plugins but follows the pre-Omni paradigms: discovery
+//!   advertisements go out on *every* available technology, and low-level
+//!   neighbor discovery is not integrated, so data over WiFi always pays
+//!   network discovery and connection establishment.
+//! * [`sp`] — the **State of the Practice**: applications wired directly to
+//!   a single communication technology ([`sp::SpBleDevice`],
+//!   [`sp::SpWifiDevice`]), with discovery, framing, and transfer logic
+//!   hand-rolled per technology, exactly as today's one-off D2D apps do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sa;
+pub mod sp;

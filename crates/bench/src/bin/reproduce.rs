@@ -1,0 +1,18 @@
+//! Runs the full evaluation: every table and figure, in paper order.
+
+use std::process::Command;
+
+fn main() {
+    for bin in ["table3", "table4", "table5", "fig7"] {
+        println!("\n########## {bin} ##########\n");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates paper Table 3: baseline current draw for D2D operations.
+
+use omni_bench::experiments::table3;
+use omni_bench::report::{Cell, Table};
+
+fn main() {
+    let rows = table3();
+    let mut t = Table::new(
+        "Table 3: Baseline current draw for D2D technology operations (mA)",
+        &["Current (mA)"],
+    );
+    for r in &rows {
+        t.row(r.operation, vec![Cell::new(r.paper_ma, r.measured_ma)]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("Notes: values are relative to WiFi standby (92.1 mA) where the paper's are;");
+    println!("BLE rows are absolute (WiFi radio off). WiFi-receive reports the model's");
+    println!("receive-current constant — see EXPERIMENTS.md for the full-duplex caveat.");
+}

@@ -1,0 +1,43 @@
+//! Regenerates paper Table 4 (and Figures 4 & 5): the controlled comparison
+//! of SP, SA, and Omni across context/data technology pairs.
+
+use omni_bench::experiments::{table4_cell, System, TABLE4_ROWS};
+use omni_bench::report::{Cell, Chart, Table};
+
+fn main() {
+    let systems = [System::Sp, System::Sa, System::Omni];
+    let mut energy =
+        Table::new("Table 4: Total Energy (avg mA rel. baseline)", &["SP", "SA", "Omni"]);
+    let mut latency = Table::new("Table 4: Service Latency (ms)", &["SP", "SA", "Omni"]);
+    let mut fig4 = Chart::new("Figure 4: Energy Consumption Comparison", "avg mA rel. baseline");
+    let mut fig5 = Chart::new("Figure 5: Application Interaction Latency", "ms");
+
+    for row in &TABLE4_ROWS {
+        let label = format!("{}/{}", row.context, row.data);
+        let mut ecells = Vec::new();
+        let mut lcells = Vec::new();
+        for (i, sys) in systems.iter().enumerate() {
+            match table4_cell(*sys, row) {
+                Some(m) => {
+                    ecells.push(Cell { paper: row.paper_energy[i], measured: Some(m.energy_ma) });
+                    lcells.push(Cell { paper: row.paper_latency[i], measured: Some(m.latency_ms) });
+                    fig4.bar(format!("{label} {sys}"), m.energy_ma);
+                    fig5.bar(format!("{label} {sys}"), m.latency_ms);
+                }
+                None => {
+                    ecells.push(Cell::NA);
+                    lcells.push(Cell::NA);
+                }
+            }
+        }
+        energy.row(label.clone(), ecells);
+        latency.row(label, lcells);
+    }
+    print!("{}", energy.render());
+    println!();
+    print!("{}", latency.render());
+    println!();
+    print!("{}", fig4.render());
+    println!();
+    print!("{}", fig5.render());
+}

@@ -1,0 +1,75 @@
+//! Regenerates paper Table 5 (and Figure 6): the Disseminate-like
+//! collaborative download of a 30 MB file by three devices.
+
+use omni_bench::experiments::{table5_cell, DisseminateVariant};
+use omni_bench::report::{Cell, Chart, Table};
+
+fn main() {
+    let variants = [
+        ("Direct Download", DisseminateVariant::Direct),
+        ("SP (WiFi only)", DisseminateVariant::Sp),
+        ("SA (BLE + WiFi)", DisseminateVariant::Sa),
+        ("Omni (BLE + WiFi)", DisseminateVariant::Omni),
+    ];
+    // Paper Table 5 values: (time_s, energy_ma) per variant, per rate.
+    let paper_100: [(Option<f64>, Option<f64>); 4] = [
+        (Some(300.0), None),
+        (Some(229.588), Some(72.39)),
+        (Some(102.679), Some(67.12)),
+        (Some(101.292), Some(66.91)),
+    ];
+    let paper_1000: [(Option<f64>, Option<f64>); 4] = [
+        (Some(30.0), None),
+        (Some(30.0), Some(80.03)),
+        (Some(13.100), Some(267.79)),
+        (Some(11.965), Some(270.288)),
+    ];
+
+    let mut time_table = Table::new(
+        "Table 5: Time to complete 30 MB download (s)",
+        &["100 KBps infra", "1000 KBps infra"],
+    );
+    let mut energy_table = Table::new(
+        "Table 5: Avg energy consumed (mA rel. baseline)",
+        &["100 KBps infra", "1000 KBps infra"],
+    );
+    let mut fig6_time = Chart::new("Figure 6: transfer time for D2D media downloads", "s");
+    let mut fig6_energy = Chart::new("Figure 6: energy for D2D media downloads", "avg mA");
+
+    for (i, (label, variant)) in variants.iter().enumerate() {
+        let m100 = table5_cell(*variant, 100_000.0);
+        let m1000 = table5_cell(*variant, 1_000_000.0);
+        time_table.row(
+            *label,
+            vec![
+                Cell { paper: paper_100[i].0, measured: Some(m100.time_s) },
+                Cell { paper: paper_1000[i].0, measured: Some(m1000.time_s) },
+            ],
+        );
+        energy_table.row(
+            *label,
+            vec![
+                Cell { paper: paper_100[i].1, measured: Some(m100.energy_ma) },
+                Cell { paper: paper_1000[i].1, measured: Some(m1000.energy_ma) },
+            ],
+        );
+        fig6_time.bar(format!("{label} @100KBps"), m100.time_s);
+        fig6_time.bar(format!("{label} @1000KBps"), m1000.time_s);
+        fig6_energy.bar(format!("{label} @100KBps"), m100.energy_ma);
+        fig6_energy.bar(format!("{label} @1000KBps"), m1000.energy_ma);
+        // The paper's derived statistic: total charge (mA·s) to completion.
+        println!(
+            "{label}: total charge {:.0} mA*s @100KBps, {:.0} mA*s @1000KBps",
+            m100.energy_ma * m100.time_s,
+            m1000.energy_ma * m1000.time_s
+        );
+    }
+    println!();
+    print!("{}", time_table.render());
+    println!();
+    print!("{}", energy_table.render());
+    println!();
+    print!("{}", fig6_time.render());
+    println!();
+    print!("{}", fig6_energy.render());
+}

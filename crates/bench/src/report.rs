@@ -1,0 +1,164 @@
+//! Result-table formatting: paper value vs. measured value, side by side.
+
+use std::fmt::Write as _;
+
+/// One reported quantity.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// The paper's value, when the paper reports one.
+    pub paper: Option<f64>,
+    /// Our measurement, when the configuration is applicable.
+    pub measured: Option<f64>,
+}
+
+impl Cell {
+    /// Both values present.
+    pub fn new(paper: f64, measured: f64) -> Self {
+        Cell { paper: Some(paper), measured: Some(measured) }
+    }
+
+    /// Configuration not applicable (paper prints N/A).
+    pub const NA: Cell = Cell { paper: None, measured: None };
+
+    /// Measured value without a paper reference.
+    pub fn measured_only(measured: f64) -> Self {
+        Cell { paper: None, measured: Some(measured) }
+    }
+}
+
+fn fmt_val(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.abs() >= 1000.0 => format!("{v:.0}"),
+        Some(v) if v.abs() >= 100.0 => format!("{v:.1}"),
+        Some(v) => format!("{v:.2}"),
+        None => "N/A".to_string(),
+    }
+}
+
+/// A paper-vs-measured table with labelled rows and column groups.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column labels.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap();
+        let col_w = 19usize;
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, " | {c:^col_w$}");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:label_w$}", "");
+        for _ in &self.columns {
+            let _ = write!(out, " | {:^9} {:^9}", "paper", "measured");
+        }
+        let _ = writeln!(out);
+        let total_w = label_w + self.columns.len() * (col_w + 3);
+        let _ = writeln!(out, "{}", "-".repeat(total_w));
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for c in cells {
+                let _ = write!(out, " | {:>9} {:>9}", fmt_val(c.paper), fmt_val(c.measured));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// A labelled series for the "figure" renderings (ASCII bars).
+#[derive(Debug)]
+pub struct Chart {
+    title: String,
+    unit: String,
+    bars: Vec<(String, f64)>,
+}
+
+impl Chart {
+    /// Creates a chart.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> Self {
+        Chart { title: title.into(), unit: unit.into(), bars: Vec::new() }
+    }
+
+    /// Appends a bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) {
+        self.bars.push((label.into(), value));
+    }
+
+    /// Renders horizontal ASCII bars scaled to the maximum magnitude.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ({}) ==", self.title, self.unit);
+        let max = self.bars.iter().map(|(_, v)| v.abs()).fold(1e-12, f64::max);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+        for (label, v) in &self.bars {
+            let width = ((v.abs() / max) * 46.0).round() as usize;
+            let bar: String = std::iter::repeat_n('#', width.max(1)).collect();
+            let sign = if *v < 0.0 { "-" } else { "" };
+            let _ = writeln!(out, "{label:label_w$} | {sign}{bar} {v:.2}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_paper_and_measured_columns() {
+        let mut t = Table::new("Demo", &["Energy (mA)", "Latency (ms)"]);
+        t.row("BLE/BLE", vec![Cell::new(7.52, 7.3), Cell::new(82.0, 82.0)]);
+        t.row("n/a row", vec![Cell::NA, Cell::NA]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("7.52"));
+        assert!(s.contains("N/A"));
+        assert!(s.contains("82.00"));
+    }
+
+    #[test]
+    fn chart_scales_bars() {
+        let mut c = Chart::new("Fig", "mA");
+        c.bar("omni", 10.0);
+        c.bar("sa", 20.0);
+        let s = c.render();
+        assert!(s.contains("omni"));
+        assert!(s.lines().last().unwrap().matches('#').count() >= 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_validated() {
+        let mut t = Table::new("X", &["a", "b"]);
+        t.row("r", vec![Cell::NA]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Technology-internal control frames.
+//!
+//! The WiFi technologies exchange a small amount of control traffic that is
+//! invisible to both the application and the manager: multicast address
+//! resolution, used when a data transfer targets a peer whose mesh address
+//! was not learned through low-level neighbor discovery (paper §4.2 — the
+//! expensive WiFi discovery path the State of the Art always pays and Omni
+//! pays only when no low-energy discovery technology is available).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use omni_wire::{MeshAddress, OmniAddress, PackedStruct, WireError};
+
+const TAG_PACKED: u8 = 0x50; // 'P'
+const TAG_RESOLVE: u8 = 0x52; // 'R'
+const TAG_REPLY: u8 = 0x41; // 'A'
+const TAG_BATCH: u8 = 0x42; // 'B'
+
+/// A frame carried in a WiFi multicast datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlFrame {
+    /// An ordinary Omni transmission (context / data / address beacon).
+    Packed(PackedStruct),
+    /// Several transmissions consolidated into one datagram — the beacon
+    /// consolidation the paper describes for the OS-service deployment
+    /// ("consolidating context into fewer beacons", §4): one multicast
+    /// carries the address beacon and every active context pack.
+    Batch(Vec<PackedStruct>),
+    /// "Who has `target`? Answer `requester`."
+    Resolve {
+        /// The unified address being resolved.
+        target: OmniAddress,
+        /// The asking device's unified address.
+        requester: OmniAddress,
+    },
+    /// "`addr` is reachable at `mesh`."
+    ResolveReply {
+        /// The unified address that was resolved.
+        addr: OmniAddress,
+        /// Its connectable mesh address.
+        mesh: MeshAddress,
+    },
+}
+
+impl ControlFrame {
+    /// Encodes the frame for multicast transport.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            ControlFrame::Packed(p) => {
+                let inner = p.encode();
+                let mut buf = BytesMut::with_capacity(1 + inner.len());
+                buf.put_u8(TAG_PACKED);
+                buf.put_slice(&inner);
+                buf.freeze()
+            }
+            ControlFrame::Batch(packs) => {
+                assert!(packs.len() <= u8::MAX as usize, "batch too large");
+                let mut buf = BytesMut::new();
+                buf.put_u8(TAG_BATCH);
+                buf.put_u8(packs.len() as u8);
+                for p in packs {
+                    let inner = p.encode();
+                    buf.put_u16(inner.len() as u16);
+                    buf.put_slice(&inner);
+                }
+                buf.freeze()
+            }
+            ControlFrame::Resolve { target, requester } => {
+                let mut buf = BytesMut::with_capacity(17);
+                buf.put_u8(TAG_RESOLVE);
+                buf.put_slice(&target.to_bytes());
+                buf.put_slice(&requester.to_bytes());
+                buf.freeze()
+            }
+            ControlFrame::ResolveReply { addr, mesh } => {
+                let mut buf = BytesMut::with_capacity(17);
+                buf.put_u8(TAG_REPLY);
+                buf.put_slice(&addr.to_bytes());
+                buf.put_slice(&mesh.0);
+                buf.freeze()
+            }
+        }
+    }
+
+    /// Decodes a multicast frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for truncated or unrecognized frames.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+        match tag {
+            TAG_PACKED => Ok(ControlFrame::Packed(PackedStruct::decode(rest)?)),
+            TAG_BATCH => {
+                let (&count, mut body) =
+                    rest.split_first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+                let mut packs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    if body.len() < 2 {
+                        return Err(WireError::Truncated { needed: 2, got: body.len() });
+                    }
+                    let len = u16::from_be_bytes([body[0], body[1]]) as usize;
+                    body = &body[2..];
+                    if body.len() < len {
+                        return Err(WireError::Truncated { needed: len, got: body.len() });
+                    }
+                    packs.push(PackedStruct::decode(&body[..len])?);
+                    body = &body[len..];
+                }
+                Ok(ControlFrame::Batch(packs))
+            }
+            TAG_RESOLVE => {
+                if rest.len() != 16 {
+                    return Err(WireError::Truncated { needed: 16, got: rest.len() });
+                }
+                let mut t = [0u8; 8];
+                let mut r = [0u8; 8];
+                t.copy_from_slice(&rest[..8]);
+                r.copy_from_slice(&rest[8..]);
+                Ok(ControlFrame::Resolve {
+                    target: OmniAddress::from_bytes(t),
+                    requester: OmniAddress::from_bytes(r),
+                })
+            }
+            TAG_REPLY => {
+                if rest.len() != 16 {
+                    return Err(WireError::Truncated { needed: 16, got: rest.len() });
+                }
+                let mut a = [0u8; 8];
+                let mut m = [0u8; 8];
+                a.copy_from_slice(&rest[..8]);
+                m.copy_from_slice(&rest[8..]);
+                Ok(ControlFrame::ResolveReply {
+                    addr: OmniAddress::from_bytes(a),
+                    mesh: MeshAddress(m),
+                })
+            }
+            other => Err(WireError::UnknownKind(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_frame_roundtrips() {
+        let p = PackedStruct::context(OmniAddress::from_u64(5), Bytes::from_static(b"svc"));
+        let f = ControlFrame::Packed(p);
+        assert_eq!(ControlFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let f = ControlFrame::Resolve {
+            target: OmniAddress::from_u64(0xAAAA),
+            requester: OmniAddress::from_u64(0xBBBB),
+        };
+        assert_eq!(ControlFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let f = ControlFrame::ResolveReply {
+            addr: OmniAddress::from_u64(0xCCCC),
+            mesh: MeshAddress::from_u64(0xDDDD),
+        };
+        assert_eq!(ControlFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn junk_is_rejected_not_panicking() {
+        assert!(ControlFrame::decode(&[]).is_err());
+        assert!(ControlFrame::decode(&[0xff, 1, 2]).is_err());
+        assert!(ControlFrame::decode(&[TAG_RESOLVE, 1, 2]).is_err());
+    }
+}

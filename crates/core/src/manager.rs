@@ -1,0 +1,1009 @@
+//! The Omni Manager (paper §3.3).
+//!
+//! "The primary functionality of the Omni Manager is to route application
+//! requests to transmit context and data to the appropriate D2D technologies
+//! and to maintain a mapping of available peers to the technologies on which
+//! they are accessible."
+//!
+//! Responsibilities implemented here:
+//!
+//! * the **Developer API** entry point (applying [`ApiCall`]s queued on
+//!   [`OmniCtl`] handles);
+//! * the **address beacon** — the manager's own internal context pack,
+//!   transmitted every 500 ms on the cheapest context technology;
+//! * the **multi-technology engagement algorithm** — listening on all
+//!   enabled context technologies and additionally beaconing on a technology
+//!   *A* while some peer is reachable only through *A*;
+//! * **data technology selection** by minimum expected delivery time;
+//! * **failure handling** — replaying failed requests on alternative
+//!   technologies until all are exhausted, and only then reporting failure
+//!   to the application.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::{BufMut, Bytes};
+use omni_sim::{NodeApi, NodeEvent, SimDuration};
+use omni_wire::{
+    AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
+    ResponseInfo, StatusCode, TechType,
+};
+
+use crate::api::{ApiCall, ContextCallback, ContextParams, DataCallback, InfraCallback, StatusCallback, TimerCallback};
+use crate::config::OmniConfig;
+use crate::peers::PeerMap;
+use crate::queues::{
+    LowAddr, ReceivedItem, ResponseOk, SendOp, SendRequest, SharedQueue, TechQueues, TechResponse,
+};
+use crate::security::ContextCipher;
+use crate::selection::{self, Candidate};
+use crate::tech::D2dTechnology;
+
+/// Manager-reserved timer token: engagement re-evaluation.
+const MGR_TIMER_ENGAGE: u64 = 1 << 60;
+/// Base of the application timer token range.
+const APP_TIMER_BASE: u64 = 1 << 59;
+/// The reserved context id of the internal address beacon.
+pub const ADDRESS_BEACON_CONTEXT_ID: u64 = 0;
+
+type SharedCb = Rc<RefCell<StatusCallback>>;
+
+struct TechSlot {
+    tech: Box<dyn D2dTechnology>,
+    send: SharedQueue<SendRequest>,
+    ty: TechType,
+    addr: Option<LowAddr>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxOp {
+    Add,
+    Update,
+    Remove,
+}
+
+enum Pending {
+    Context { op: CtxOp, id: u64, cb: Option<SharedCb>, remaining: Vec<TechType> },
+    Data { dest: OmniAddress, cb: Option<SharedCb>, remaining: Vec<Candidate> },
+}
+
+struct ContextEntry {
+    params: ContextParams,
+    payload: PackedStruct,
+    carried: BTreeSet<TechType>,
+}
+
+/// The singleton middleware instance for a device.
+pub struct OmniManager {
+    own: OmniAddress,
+    cfg: OmniConfig,
+    receive: SharedQueue<ReceivedItem>,
+    response: SharedQueue<TechResponse>,
+    techs: Vec<TechSlot>,
+    peers: PeerMap,
+    contexts: HashMap<u64, ContextEntry>,
+    next_context_id: u64,
+    next_token: u64,
+    pending: HashMap<u64, Pending>,
+    context_cbs: Vec<ContextCallback>,
+    data_cbs: Vec<DataCallback>,
+    timer_cbs: Vec<TimerCallback>,
+    infra_cbs: Vec<InfraCallback>,
+    engaged: BTreeSet<TechType>,
+    primary: Option<TechType>,
+    deferred: VecDeque<(SharedCb, StatusCode, ResponseInfo)>,
+    pending_calls: Vec<ApiCall>,
+    started: bool,
+    /// Context-beacon sealer (paper §3.4), present when a group key is
+    /// configured.
+    cipher: Option<ContextCipher>,
+    /// Relay dedup: (origin, payload hash) → last relayed at.
+    relay_seen: HashMap<(OmniAddress, u64), omni_sim::SimTime>,
+    /// Current address-beacon interval (adapts when the adaptive policy is
+    /// configured).
+    beacon_interval_current: SimDuration,
+    /// Fresh-peer snapshot from the previous engagement evaluation (drives
+    /// the adaptive beacon policy).
+    last_fresh_peers: BTreeSet<OmniAddress>,
+}
+
+impl std::fmt::Debug for OmniManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmniManager")
+            .field("own", &self.own)
+            .field("techs", &self.techs.iter().map(|t| t.ty).collect::<Vec<_>>())
+            .field("primary", &self.primary)
+            .field("engaged", &self.engaged)
+            .field("peers", &self.peers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl OmniManager {
+    /// Creates a manager for the device with the given unified address and
+    /// pluggable technologies.
+    pub fn new(own: OmniAddress, cfg: OmniConfig, techs: Vec<Box<dyn D2dTechnology>>) -> Self {
+        let receive = SharedQueue::new();
+        let response = SharedQueue::new();
+        let cfg_cipher = cfg.context_key.map(|key| ContextCipher::new(key, own.as_u64()));
+        let beacon_interval = cfg
+            .adaptive_beacon
+            .map(|p| p.min)
+            .unwrap_or(cfg.beacon_interval);
+        let techs = techs
+            .into_iter()
+            .map(|tech| TechSlot { ty: tech.tech_type(), tech, send: SharedQueue::new(), addr: None })
+            .collect();
+        OmniManager {
+            own,
+            cfg,
+            receive,
+            response,
+            techs,
+            peers: PeerMap::new(),
+            contexts: HashMap::new(),
+            next_context_id: 1,
+            next_token: 0,
+            pending: HashMap::new(),
+            context_cbs: Vec::new(),
+            data_cbs: Vec::new(),
+            timer_cbs: Vec::new(),
+            infra_cbs: Vec::new(),
+            engaged: BTreeSet::new(),
+            primary: None,
+            deferred: VecDeque::new(),
+            pending_calls: Vec::new(),
+            started: false,
+            cipher: cfg_cipher,
+            relay_seen: HashMap::new(),
+            beacon_interval_current: beacon_interval,
+            last_fresh_peers: BTreeSet::new(),
+        }
+    }
+
+    /// The device's unified address.
+    pub fn omni_address(&self) -> OmniAddress {
+        self.own
+    }
+
+    /// The peer mapping (read access, e.g. for applications listing
+    /// neighbors).
+    pub fn peers(&self) -> &PeerMap {
+        &self.peers
+    }
+
+    /// Context technologies currently carrying beacons and context packs.
+    pub fn engaged(&self) -> &BTreeSet<TechType> {
+        &self.engaged
+    }
+
+    /// The primary (cheapest) context technology, once started.
+    pub fn primary(&self) -> Option<TechType> {
+        self.primary
+    }
+
+    /// Queues Developer API calls for the next pump.
+    pub fn queue_calls(&mut self, ctl: crate::api::OmniCtl) {
+        self.pending_calls.extend(ctl.calls);
+    }
+
+    /// Starts the middleware: enables every technology, installs the address
+    /// beacon on the primary context technology, and arms the engagement
+    /// evaluation timer. Idempotent.
+    pub fn start(&mut self, api: &mut NodeApi<'_>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for (i, slot) in self.techs.iter_mut().enumerate() {
+            let queues = TechQueues {
+                receive: self.receive.clone(),
+                response: self.response.clone(),
+                send: slot.send.clone(),
+            };
+            let token_base = ((i + 1) as u64) << 32;
+            let (ty, addr) = slot.tech.enable(queues, token_base, api);
+            debug_assert_eq!(ty, slot.ty);
+            slot.addr = Some(addr);
+        }
+        // Primary context technology: BLE if present, then multicast WiFi,
+        // then NFC (which cannot beacon at range but is better than nothing).
+        let pick = [TechType::BleBeacon, TechType::WifiMulticast, TechType::Nfc]
+            .into_iter()
+            .find(|t| self.techs.iter().any(|s| s.ty == *t));
+        self.primary = pick;
+        if let Some(primary) = pick {
+            self.engaged.insert(primary);
+            if self.cfg.advertise_on_all_techs {
+                // State-of-the-Art paradigm: beacon everywhere from the
+                // start (except NFC, which cannot beacon at range).
+                for t in self.context_techs() {
+                    if t != TechType::Nfc {
+                        self.engaged.insert(t);
+                    }
+                }
+            }
+            let beacon = self.own_beacon();
+            let sealed = self.seal(PackedStruct::address_beacon(self.own, &beacon).payload);
+            let packed = PackedStruct {
+                kind: ContentKind::AddressBeacon,
+                source: self.own,
+                payload: sealed,
+            };
+            self.contexts.insert(
+                ADDRESS_BEACON_CONTEXT_ID,
+                ContextEntry {
+                    params: ContextParams { interval: self.beacon_interval_current },
+                    payload: packed.clone(),
+                    carried: BTreeSet::from([primary]),
+                },
+            );
+            let interval = self.beacon_interval_current;
+            if let Some(entry) = self.contexts.get_mut(&ADDRESS_BEACON_CONTEXT_ID) {
+                entry.carried = self.engaged.clone();
+            }
+            for tech in self.engaged.clone() {
+                self.submit_context(
+                    tech,
+                    CtxOp::Add,
+                    ADDRESS_BEACON_CONTEXT_ID,
+                    interval,
+                    Some(packed.clone()),
+                    None,
+                    Vec::new(),
+                );
+            }
+        }
+        api.set_timer(MGR_TIMER_ENGAGE, self.cfg.engagement_check);
+        self.pump(api);
+    }
+
+    /// Seals a context/beacon payload with the group key, if one is
+    /// configured (paper §3.4). Data payloads are not sealed — the paper's
+    /// §3.4 story covers discovery beacons; securing bulk channels (e.g.
+    /// SAE on WiFi-Mesh) happens below the middleware.
+    fn seal(&mut self, plain: Bytes) -> Bytes {
+        match self.cipher.as_mut() {
+            Some(c) => c.seal(&plain),
+            None => plain,
+        }
+    }
+
+    /// Opens a sealed context/beacon payload; `None` means the beacon is
+    /// not authentic for our group and must be ignored.
+    fn open(&self, payload: &Bytes) -> Option<Bytes> {
+        match self.cipher.as_ref() {
+            Some(c) => ContextCipher::open(&c.key(), payload),
+            None => Some(payload.clone()),
+        }
+    }
+
+    /// The address beacon payload advertising this device's low-level
+    /// addresses ("8 for the WiFi-Mesh address and 6 for the BLE address",
+    /// paper §3.3).
+    fn own_beacon(&self) -> AddressBeaconPayload {
+        let mut mesh: Option<MeshAddress> = None;
+        let mut ble: Option<BleAddress> = None;
+        for slot in &self.techs {
+            match slot.addr {
+                Some(LowAddr::Mesh(m)) => mesh = mesh.or(Some(m)),
+                Some(LowAddr::Ble(b)) => ble = ble.or(Some(b)),
+                _ => {}
+            }
+        }
+        AddressBeaconPayload { mesh, ble }
+    }
+
+    /// Handles a substrate event: manager timers, application timers, or a
+    /// technology event; then pumps the queues.
+    pub fn handle_event(&mut self, event: &NodeEvent, api: &mut NodeApi<'_>) {
+        match event {
+            NodeEvent::Timer { token } if *token == MGR_TIMER_ENGAGE => {
+                self.evaluate_engagement(api);
+                api.set_timer(MGR_TIMER_ENGAGE, self.cfg.engagement_check);
+            }
+            NodeEvent::Timer { token } if *token >= APP_TIMER_BASE && *token < MGR_TIMER_ENGAGE => {
+                self.fire_app_timers(*token - APP_TIMER_BASE, api.now);
+            }
+            NodeEvent::InfraChunk { req, chunk, received_bytes, done } => {
+                self.fire_infra(*req, *chunk, *received_bytes, *done, api.now);
+            }
+            other => {
+                for slot in &mut self.techs {
+                    if slot.tech.on_node_event(other, api) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.pump(api);
+    }
+
+    // ------------------------------------------------------------------
+    // Pump: queues, callbacks, deferred work
+    // ------------------------------------------------------------------
+
+    /// Processes queues until quiescent.
+    pub fn pump(&mut self, api: &mut NodeApi<'_>) {
+        for _ in 0..256 {
+            let mut progressed = false;
+            for slot in &mut self.techs {
+                slot.tech.poll(api);
+            }
+            while let Some(item) = self.receive.pop() {
+                progressed = true;
+                self.process_received(item, api);
+            }
+            while let Some(resp) = self.response.pop() {
+                progressed = true;
+                self.process_response(resp, api);
+            }
+            while let Some((cb, code, info)) = self.deferred.pop_front() {
+                progressed = true;
+                let mut ctl = crate::api::OmniCtl::at(api.now);
+                (cb.borrow_mut())(code, &info, &mut ctl);
+                self.pending_calls.extend(ctl.calls);
+            }
+            let calls = std::mem::take(&mut self.pending_calls);
+            if !calls.is_empty() {
+                progressed = true;
+                for call in calls {
+                    self.apply_call(call, api);
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+        api.trace("omni: pump did not quiesce within its iteration budget");
+    }
+
+    fn fire_app_timers(&mut self, token: u64, now: omni_sim::SimTime) {
+        let mut cbs = std::mem::take(&mut self.timer_cbs);
+        for cb in cbs.iter_mut() {
+            let mut ctl = crate::api::OmniCtl::at(now);
+            cb(token, &mut ctl);
+            self.pending_calls.extend(ctl.calls);
+        }
+        debug_assert!(self.timer_cbs.is_empty());
+        self.timer_cbs = cbs;
+    }
+
+    fn fire_infra(&mut self, req: u64, chunk: u64, received: u64, done: bool, now: omni_sim::SimTime) {
+        let mut cbs = std::mem::take(&mut self.infra_cbs);
+        for cb in cbs.iter_mut() {
+            let mut ctl = crate::api::OmniCtl::at(now);
+            cb(req, chunk, received, done, &mut ctl);
+            self.pending_calls.extend(ctl.calls);
+        }
+        debug_assert!(self.infra_cbs.is_empty());
+        self.infra_cbs = cbs;
+    }
+
+    fn process_received(&mut self, item: ReceivedItem, api: &mut NodeApi<'_>) {
+        if item.packed.source == self.own {
+            return; // our own echo
+        }
+        let now = api.now;
+        self.peers.observe(item.packed.source, item.tech, item.source, now);
+        match item.packed.kind {
+            ContentKind::AddressBeacon => {
+                // Authenticate/decrypt first (paper §3.4): beacons that are
+                // not sealed for our group are ignored entirely.
+                let Some(plain) = self.open(&item.packed.payload) else {
+                    api.trace("omni: dropped unauthenticated address beacon");
+                    return;
+                };
+                if let Ok(beacon) = omni_wire::AddressBeaconPayload::decode(&plain) {
+                    // Middleware that does not integrate low-level neighbor
+                    // discovery cannot treat beacon-carried mesh addresses
+                    // as connectable (SA ablation).
+                    let via = if self.cfg.integrate_low_level_nd {
+                        item.tech
+                    } else {
+                        TechType::WifiMulticast
+                    };
+                    self.peers.observe_beacon(item.packed.source, &beacon, via, now);
+                }
+            }
+            ContentKind::Context => {
+                let Some(plain) = self.open(&item.packed.payload) else {
+                    api.trace("omni: dropped unauthenticated context pack");
+                    return;
+                };
+                self.handle_context_plain(item.packed.source, plain, api);
+            }
+            ContentKind::Data => {
+                let src = item.packed.source;
+                let payload = item.packed.payload.clone();
+                let mut cbs = std::mem::take(&mut self.data_cbs);
+                for cb in cbs.iter_mut() {
+                    let mut ctl = crate::api::OmniCtl::at(now);
+                    cb(src, &payload, &mut ctl);
+                    self.pending_calls.extend(ctl.calls);
+                }
+                debug_assert!(self.data_cbs.is_empty());
+                self.data_cbs = cbs;
+            }
+        }
+    }
+
+    /// Handles a decrypted context payload: unwraps relay envelopes,
+    /// delivers to the application, and floods onward when relaying is
+    /// enabled (paper §5 future work, BLE-Mesh-style multi-hop context).
+    fn handle_context_plain(&mut self, relayer: OmniAddress, plain: Bytes, api: &mut NodeApi<'_>) {
+        const RELAY_TAG: u8 = 0xE7;
+        if plain.first() == Some(&RELAY_TAG) && plain.len() >= 10 {
+            let ttl = plain[1];
+            let mut origin_bytes = [0u8; 8];
+            origin_bytes.copy_from_slice(&plain[2..10]);
+            let origin = OmniAddress::from_bytes(origin_bytes);
+            if origin == self.own {
+                return; // our own context echoed back through a relay
+            }
+            let inner = plain.slice(10..);
+            self.fire_context(origin, inner.clone(), api.now);
+            if ttl > 0 && self.cfg.relay_ttl > 0 {
+                self.relay_context(origin, &inner, ttl - 1, api);
+            }
+        } else {
+            self.fire_context(relayer, plain.clone(), api.now);
+            if self.cfg.relay_ttl > 0 {
+                self.relay_context(relayer, &plain, self.cfg.relay_ttl - 1, api);
+            }
+        }
+    }
+
+    fn fire_context(&mut self, src: OmniAddress, payload: Bytes, now: omni_sim::SimTime) {
+        let mut cbs = std::mem::take(&mut self.context_cbs);
+        for cb in cbs.iter_mut() {
+            let mut ctl = crate::api::OmniCtl::at(now);
+            cb(src, &payload, &mut ctl);
+            self.pending_calls.extend(ctl.calls);
+        }
+        debug_assert!(self.context_cbs.is_empty());
+        self.context_cbs = cbs;
+    }
+
+    /// Rebroadcasts a context pack on every engaged context technology,
+    /// deduplicating per (origin, payload) within one beacon interval so
+    /// periodic packs are relayed once per period, not once per copy heard.
+    fn relay_context(&mut self, origin: OmniAddress, inner: &Bytes, ttl: u8, api: &mut NodeApi<'_>) {
+        const RELAY_TAG: u8 = 0xE7;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in inner.iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let key = (origin, h);
+        let window = self.beacon_interval_current;
+        if let Some(&last) = self.relay_seen.get(&key) {
+            if api.now.saturating_since(last) < window {
+                return;
+            }
+        }
+        self.relay_seen.insert(key, api.now);
+        if self.relay_seen.len() > 4096 {
+            let cutoff = api.now;
+            let w = window;
+            self.relay_seen.retain(|_, at| cutoff.saturating_since(*at) < w * 4);
+        }
+        let mut envelope = bytes::BytesMut::with_capacity(10 + inner.len());
+        envelope.put_u8(RELAY_TAG);
+        envelope.put_u8(ttl);
+        envelope.put_slice(&origin.to_bytes());
+        envelope.put_slice(inner);
+        let sealed = self.seal(envelope.freeze());
+        let packed = PackedStruct::context(self.own, sealed);
+        let engaged: Vec<TechType> = self.engaged.iter().copied().collect();
+        for tech in engaged {
+            let token = self.alloc_token();
+            if let Some(q) = self.queue_of(tech) {
+                q.push(SendRequest { token, op: SendOp::RelayContext, packed: Some(packed.clone()) });
+            }
+        }
+    }
+
+    fn process_response(&mut self, resp: TechResponse, api: &mut NodeApi<'_>) {
+        let TechResponse::Outcome { tech, token, result } = resp else {
+            return; // StatusChanged: engagement evaluation picks it up
+        };
+        let Some(pending) = self.pending.remove(&token) else {
+            return; // internal (engagement-copy) request: nothing to do
+        };
+        match pending {
+            Pending::Context { op, id, cb, remaining } => match result {
+                Ok(_) => {
+                    if let Some(entry) = self.contexts.get_mut(&id) {
+                        entry.carried.insert(tech);
+                    }
+                    if let Some(cb) = cb {
+                        let code = match op {
+                            CtxOp::Add => StatusCode::AddContextSuccess,
+                            CtxOp::Update => StatusCode::UpdateContextSuccess,
+                            CtxOp::Remove => StatusCode::RemoveContextSuccess,
+                        };
+                        self.deferred.push_back((cb, code, ResponseInfo::ContextId(id)));
+                    }
+                }
+                Err(failure) => {
+                    if let Some(entry) = self.contexts.get_mut(&id) {
+                        entry.carried.remove(&tech);
+                    }
+                    api.trace(format!(
+                        "omni: context {id} op on {tech} failed: {}",
+                        failure.description
+                    ));
+                    // Replay on the next applicable context technology.
+                    let mut remaining = remaining;
+                    if let Some(next) = remaining.pop() {
+                        self.resubmit_context(next, op, id, cb, remaining, failure.original);
+                    } else if let Some(cb) = cb {
+                        let code = match op {
+                            CtxOp::Add => StatusCode::AddContextFailure,
+                            CtxOp::Update => StatusCode::UpdateContextFailure,
+                            CtxOp::Remove => StatusCode::RemoveContextFailure,
+                        };
+                        let info = ResponseInfo::ContextFailure {
+                            description: failure.description,
+                            context_id: Some(id),
+                        };
+                        self.deferred.push_back((cb, code, info));
+                    }
+                }
+            },
+            Pending::Data { dest, cb, mut remaining } => match result {
+                Ok(ResponseOk::DataSent { dest_omni }) => {
+                    if let Some(cb) = cb {
+                        self.deferred.push_back((
+                            cb,
+                            StatusCode::SendDataSuccess,
+                            ResponseInfo::Destination(dest_omni),
+                        ));
+                    }
+                }
+                Ok(other) => {
+                    api.trace(format!("omni: unexpected data response {other:?}"));
+                }
+                Err(failure) => {
+                    api.trace(format!(
+                        "omni: data to {dest} via {tech} failed: {}",
+                        failure.description
+                    ));
+                    if remaining.is_empty() {
+                        // "Only at this point is the status_callback provided
+                        // by the application employed" (paper §3.3).
+                        if let Some(cb) = cb {
+                            let info = ResponseInfo::SendFailure {
+                                description: failure.description,
+                                destination: dest,
+                            };
+                            self.deferred.push_back((cb, StatusCode::SendDataFailure, info));
+                        }
+                    } else {
+                        let next = remaining.remove(0);
+                        let packed = failure.original.packed;
+                        let wire_len = match failure.original.op {
+                            SendOp::SendData { wire_len, .. } => wire_len,
+                            _ => 0,
+                        };
+                        self.submit_data(dest, packed, wire_len, next, remaining, cb);
+                    }
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Developer API application
+    // ------------------------------------------------------------------
+
+    fn apply_call(&mut self, call: ApiCall, api: &mut NodeApi<'_>) {
+        match call {
+            ApiCall::AddContext { params, context, status } => {
+                let id = self.next_context_id;
+                self.next_context_id += 1;
+                let sealed = self.seal(context);
+                let packed = PackedStruct::context(self.own, sealed);
+                self.contexts.insert(
+                    id,
+                    ContextEntry { params, payload: packed.clone(), carried: self.engaged.clone() },
+                );
+                let cb: SharedCb = Rc::new(RefCell::new(status));
+                let mut engaged: Vec<TechType> = self.engaged.iter().copied().collect();
+                // Fallback candidates: enabled context technologies not
+                // already part of the submission.
+                let fallbacks: Vec<TechType> = self
+                    .context_techs()
+                    .into_iter()
+                    .filter(|t| !self.engaged.contains(t))
+                    .rev()
+                    .collect();
+                if engaged.is_empty() {
+                    self.deferred.push_back((
+                        cb,
+                        StatusCode::AddContextFailure,
+                        ResponseInfo::ContextFailure {
+                            description: "no context technology available".into(),
+                            context_id: Some(id),
+                        },
+                    ));
+                    return;
+                }
+                let first = engaged.remove(0);
+                self.submit_context(first, CtxOp::Add, id, params.interval, Some(packed.clone()), Some(cb), fallbacks);
+                for t in engaged {
+                    self.submit_context(t, CtxOp::Add, id, params.interval, Some(packed.clone()), None, Vec::new());
+                }
+            }
+            ApiCall::UpdateContext { id, params, context, status } => {
+                let cb: SharedCb = Rc::new(RefCell::new(status));
+                if id == ADDRESS_BEACON_CONTEXT_ID || !self.contexts.contains_key(&id) {
+                    self.deferred.push_back((
+                        cb,
+                        StatusCode::UpdateContextFailure,
+                        ResponseInfo::ContextFailure {
+                            description: "unknown context id".into(),
+                            context_id: Some(id),
+                        },
+                    ));
+                    return;
+                }
+                let sealed = self.seal(context);
+                let packed = PackedStruct::context(self.own, sealed);
+                let entry = self.contexts.get_mut(&id).expect("checked");
+                entry.params = params;
+                entry.payload = packed.clone();
+                let carried: Vec<TechType> = entry.carried.iter().copied().collect();
+                let mut first_cb = Some(cb);
+                for t in carried {
+                    self.submit_context(t, CtxOp::Update, id, params.interval, Some(packed.clone()), first_cb.take(), Vec::new());
+                }
+                if let Some(cb) = first_cb {
+                    // Carried nowhere (all technologies failed earlier).
+                    self.deferred.push_back((
+                        cb,
+                        StatusCode::UpdateContextFailure,
+                        ResponseInfo::ContextFailure {
+                            description: "context not carried by any technology".into(),
+                            context_id: Some(id),
+                        },
+                    ));
+                }
+            }
+            ApiCall::RemoveContext { id, status } => {
+                let cb: SharedCb = Rc::new(RefCell::new(status));
+                if id == ADDRESS_BEACON_CONTEXT_ID {
+                    self.deferred.push_back((
+                        cb,
+                        StatusCode::RemoveContextFailure,
+                        ResponseInfo::ContextFailure {
+                            description: "the address beacon cannot be removed".into(),
+                            context_id: Some(id),
+                        },
+                    ));
+                    return;
+                }
+                match self.contexts.remove(&id) {
+                    Some(entry) => {
+                        let mut first_cb = Some(cb);
+                        for t in entry.carried {
+                            self.submit_context(t, CtxOp::Remove, id, entry.params.interval, None, first_cb.take(), Vec::new());
+                        }
+                        if let Some(cb) = first_cb {
+                            self.deferred.push_back((
+                                cb,
+                                StatusCode::RemoveContextSuccess,
+                                ResponseInfo::ContextId(id),
+                            ));
+                        }
+                    }
+                    None => {
+                        self.deferred.push_back((
+                            cb,
+                            StatusCode::RemoveContextFailure,
+                            ResponseInfo::ContextFailure {
+                                description: "unknown context id".into(),
+                                context_id: Some(id),
+                            },
+                        ));
+                    }
+                }
+            }
+            ApiCall::SendData { destinations, data, total_len, status } => {
+                let cb: SharedCb = Rc::new(RefCell::new(status));
+                for dest in destinations {
+                    self.send_data_to(dest, data.clone(), total_len, cb.clone(), api);
+                }
+            }
+            ApiCall::RequestContext(cb) => self.context_cbs.push(cb),
+            ApiCall::RequestData(cb) => self.data_cbs.push(cb),
+            ApiCall::RequestTimers(cb) => self.timer_cbs.push(cb),
+            ApiCall::RequestInfra(cb) => self.infra_cbs.push(cb),
+            ApiCall::InfraRequest { req, total, chunk } => {
+                api.push(omni_sim::Command::InfraRequest {
+                    req,
+                    total_bytes: total,
+                    chunk_bytes: chunk,
+                });
+            }
+            ApiCall::InfraCancel { req } => {
+                api.push(omni_sim::Command::InfraCancel { req });
+            }
+            ApiCall::SetTimer { token, delay } => {
+                assert!(token < APP_TIMER_BASE, "application timer token too large");
+                api.set_timer(APP_TIMER_BASE + token, delay);
+            }
+            ApiCall::CancelTimer { token } => {
+                api.cancel_timer(APP_TIMER_BASE + token);
+            }
+            ApiCall::Trace(msg) => api.trace(msg),
+        }
+    }
+
+    fn send_data_to(
+        &mut self,
+        dest: OmniAddress,
+        data: Bytes,
+        total_len: u64,
+        cb: SharedCb,
+        api: &mut NodeApi<'_>,
+    ) {
+        let enabled: Vec<TechType> = self
+            .techs
+            .iter()
+            .map(|s| s.ty)
+            .filter(|t| self.cfg.data_techs.as_ref().map(|d| d.contains(t)).unwrap_or(true))
+            .collect();
+        let Some(record) = self.peers.get(dest) else {
+            self.deferred.push_back((
+                cb,
+                StatusCode::SendDataFailure,
+                ResponseInfo::SendFailure {
+                    description: "destination unknown: never discovered".into(),
+                    destination: dest,
+                },
+            ));
+            return;
+        };
+        let techs = &self.techs;
+        let mut cands = selection::candidates(
+            dest,
+            record,
+            total_len,
+            &enabled,
+            &self.cfg.timings,
+            api.now,
+            self.cfg.peer_ttl,
+            |ty, addr| {
+                techs.iter().find(|s| s.ty == ty).map(|s| s.tech.has_session(addr)).unwrap_or(false)
+            },
+        );
+        if cands.is_empty() {
+            self.deferred.push_back((
+                cb,
+                StatusCode::SendDataFailure,
+                ResponseInfo::SendFailure {
+                    description: "no applicable technology for destination".into(),
+                    destination: dest,
+                },
+            ));
+            return;
+        }
+        let first = cands.remove(0);
+        let packed = PackedStruct::data(self.own, data);
+        self.submit_data(dest, Some(packed), total_len, first, cands, Some(cb));
+    }
+
+    // ------------------------------------------------------------------
+    // Request submission
+    // ------------------------------------------------------------------
+
+    fn alloc_token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    fn queue_of(&self, ty: TechType) -> Option<&SharedQueue<SendRequest>> {
+        self.techs.iter().find(|s| s.ty == ty).map(|s| &s.send)
+    }
+
+    fn context_techs(&self) -> Vec<TechType> {
+        let mut v: Vec<TechType> =
+            self.techs.iter().map(|s| s.ty).filter(|t| t.supports_context()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_context(
+        &mut self,
+        tech: TechType,
+        op: CtxOp,
+        id: u64,
+        interval: SimDuration,
+        packed: Option<PackedStruct>,
+        cb: Option<SharedCb>,
+        remaining: Vec<TechType>,
+    ) {
+        let token = self.alloc_token();
+        let send_op = match op {
+            CtxOp::Add => SendOp::AddContext { context_id: id, interval },
+            CtxOp::Update => SendOp::UpdateContext { context_id: id, interval },
+            CtxOp::Remove => SendOp::RemoveContext { context_id: id },
+        };
+        self.pending.insert(token, Pending::Context { op, id, cb, remaining });
+        if let Some(q) = self.queue_of(tech) {
+            q.push(SendRequest { token, op: send_op, packed });
+        } else {
+            // Technology vanished; fabricate a failure so fallback runs.
+            self.response.push(TechResponse::Outcome {
+                tech,
+                token,
+                result: Err(crate::queues::TechFailure {
+                    description: format!("technology {tech} not present"),
+                    original: SendRequest {
+                        token,
+                        op: match op {
+                            CtxOp::Add => SendOp::AddContext { context_id: id, interval },
+                            CtxOp::Update => SendOp::UpdateContext { context_id: id, interval },
+                            CtxOp::Remove => SendOp::RemoveContext { context_id: id },
+                        },
+                        packed: None,
+                    },
+                }),
+            });
+        }
+    }
+
+    fn resubmit_context(
+        &mut self,
+        tech: TechType,
+        op: CtxOp,
+        id: u64,
+        cb: Option<SharedCb>,
+        remaining: Vec<TechType>,
+        original: SendRequest,
+    ) {
+        let token = self.alloc_token();
+        self.pending.insert(token, Pending::Context { op, id, cb, remaining });
+        if let Some(q) = self.queue_of(tech) {
+            q.push(SendRequest { token, op: original.op, packed: original.packed });
+        }
+    }
+
+    fn submit_data(
+        &mut self,
+        dest: OmniAddress,
+        packed: Option<PackedStruct>,
+        wire_len: u64,
+        candidate: Candidate,
+        remaining: Vec<Candidate>,
+        cb: Option<SharedCb>,
+    ) {
+        let token = self.alloc_token();
+        self.pending.insert(token, Pending::Data { dest, cb, remaining });
+        let op = SendOp::SendData {
+            dest: candidate.dest,
+            dest_omni: dest,
+            wire_len,
+            establish: candidate.establish,
+        };
+        if let Some(q) = self.queue_of(candidate.tech) {
+            q.push(SendRequest { token, op, packed });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Engagement algorithm (paper §3.3, The Omni Address Beacon)
+    // ------------------------------------------------------------------
+
+    /// Adaptive address-beacon frequency (paper §3.1 *Future
+    /// Considerations*): beacon at the policy's fast rate while new peers
+    /// keep appearing, decay (doubling per stable evaluation period) toward
+    /// the slow ceiling when the neighborhood is unchanged.
+    fn adapt_beacon_interval(&mut self, api: &mut NodeApi<'_>) {
+        let Some(policy) = self.cfg.adaptive_beacon else {
+            return;
+        };
+        let fresh: BTreeSet<OmniAddress> =
+            self.peers.fresh_peers(api.now, self.cfg.peer_ttl).into_iter().collect();
+        let changed = fresh.difference(&self.last_fresh_peers).next().is_some();
+        self.last_fresh_peers = fresh;
+        let current = self.beacon_interval_current;
+        let target = if changed {
+            policy.min
+        } else {
+            let doubled = current * 2;
+            if doubled > policy.max {
+                policy.max
+            } else {
+                doubled
+            }
+        };
+        if target == current {
+            return;
+        }
+        api.trace(format!(
+            "omni: adaptive beacon interval {} -> {}",
+            current, target
+        ));
+        self.beacon_interval_current = target;
+        if let Some(entry) = self.contexts.get_mut(&ADDRESS_BEACON_CONTEXT_ID) {
+            entry.params.interval = target;
+            let payload = entry.payload.clone();
+            let carried: Vec<TechType> = entry.carried.iter().copied().collect();
+            for tech in carried {
+                self.submit_context(
+                    tech,
+                    CtxOp::Update,
+                    ADDRESS_BEACON_CONTEXT_ID,
+                    target,
+                    Some(payload.clone()),
+                    None,
+                    Vec::new(),
+                );
+            }
+        }
+    }
+
+    fn evaluate_engagement(&mut self, api: &mut NodeApi<'_>) {
+        self.adapt_beacon_interval(api);
+        if self.cfg.advertise_on_all_techs {
+            return; // SA paradigm: everything is always engaged
+        }
+        let ctx_techs = self.context_techs();
+        let now = api.now;
+        let ttl = self.cfg.peer_ttl;
+        for (i, &t) in ctx_techs.iter().enumerate() {
+            if Some(t) == self.primary {
+                continue;
+            }
+            let cheaper = &ctx_techs[..i];
+            let needed = self.peers.tech_needed(t, cheaper, now, ttl);
+            let engaged = self.engaged.contains(&t);
+            if needed && !engaged {
+                api.trace(format!("omni: engaging context technology {t}"));
+                self.engage(t);
+            } else if !needed && engaged {
+                api.trace(format!("omni: disengaging context technology {t}"));
+                self.disengage(t);
+            }
+        }
+    }
+
+    fn engage(&mut self, tech: TechType) {
+        self.engaged.insert(tech);
+        let mut items: Vec<(u64, SimDuration, PackedStruct)> = self
+            .contexts
+            .iter()
+            .filter(|(_, e)| !e.carried.contains(&tech))
+            .map(|(id, e)| (*id, e.params.interval, e.payload.clone()))
+            .collect();
+        items.sort_by_key(|(id, _, _)| *id);
+        for (id, interval, packed) in items {
+            if let Some(entry) = self.contexts.get_mut(&id) {
+                entry.carried.insert(tech);
+            }
+            self.submit_context(tech, CtxOp::Add, id, interval, Some(packed), None, Vec::new());
+        }
+    }
+
+    fn disengage(&mut self, tech: TechType) {
+        self.engaged.remove(&tech);
+        let mut items: Vec<(u64, SimDuration)> = self
+            .contexts
+            .iter()
+            .filter(|(_, e)| e.carried.contains(&tech))
+            .map(|(id, e)| (*id, e.params.interval))
+            .collect();
+        items.sort_by_key(|(id, _)| *id);
+        for (id, interval) in items {
+            if let Some(entry) = self.contexts.get_mut(&id) {
+                entry.carried.remove(&tech);
+            }
+            self.submit_context(tech, CtxOp::Remove, id, interval, None, None, Vec::new());
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The peer mapping (paper §3.3, *Peer Mapping*).
+//!
+//! "The Omni Manager maintains a dynamic, real-time mapping of a peer's
+//! `omni_address` to the D2D technologies available at that peer. For each
+//! D2D technology, the necessary concrete addressing information is also
+//! provided."
+//!
+//! One refinement matters for the evaluation: *provenance*. A mesh address
+//! carried by an address beacon over a low-level neighbor-discovery
+//! technology (BLE, NFC), or learned from a live TCP session, is directly
+//! connectable — mesh peering state travels with it. A mesh address gleaned
+//! from application-level multicast is only group-scoped: using it requires
+//! (re)establishing network-level connectivity first (see
+//! [`crate::techs::WifiTcpTech`]). This distinction is exactly why Omni's
+//! 16 ms data path exists only when low-level neighbor discovery is "in the
+//! fold" (paper §1).
+
+use std::collections::HashMap;
+
+use omni_sim::{SimDuration, SimTime};
+use omni_wire::{AddressBeaconPayload, BleAddress, MeshAddress, NfcAddress, OmniAddress, TechType};
+
+use crate::queues::LowAddr;
+
+/// Everything known about one peer.
+#[derive(Debug, Default, Clone)]
+pub struct PeerRecord {
+    /// Last transmission seen per technology, with the low-level source.
+    pub seen: HashMap<TechType, (LowAddr, SimTime)>,
+    /// Directly connectable mesh address (low-level-ND or session
+    /// provenance).
+    pub mesh_direct: Option<(MeshAddress, SimTime)>,
+    /// Group-scoped mesh address (multicast provenance).
+    pub mesh_mcast: Option<(MeshAddress, SimTime)>,
+    /// The peer's BLE address, from its address beacon or as a beacon source.
+    pub ble: Option<(BleAddress, SimTime)>,
+    /// The peer's NFC id.
+    pub nfc: Option<(NfcAddress, SimTime)>,
+}
+
+impl PeerRecord {
+    /// Whether this peer was heard on `tech` within `ttl` of `now`.
+    pub fn fresh_on(&self, tech: TechType, now: SimTime, ttl: SimDuration) -> bool {
+        self.seen
+            .get(&tech)
+            .map(|(_, at)| now.saturating_since(*at) <= ttl)
+            .unwrap_or(false)
+    }
+
+    /// The most recent sighting on any technology.
+    pub fn last_seen(&self) -> Option<SimTime> {
+        self.seen.values().map(|(_, at)| *at).max()
+    }
+}
+
+fn fresh(entry: &Option<(impl Copy, SimTime)>, now: SimTime, ttl: SimDuration) -> bool {
+    entry.map(|(_, at)| now.saturating_since(at) <= ttl).unwrap_or(false)
+}
+
+/// The manager's peer table.
+#[derive(Debug, Default)]
+pub struct PeerMap {
+    peers: HashMap<OmniAddress, PeerRecord>,
+}
+
+impl PeerMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transmission from `omni` on `tech` with low-level `source`.
+    /// "By including the omni_address, we are able to refresh part of the
+    /// peer mapping with each message" (paper §3.3).
+    pub fn observe(&mut self, omni: OmniAddress, tech: TechType, source: LowAddr, now: SimTime) {
+        let rec = self.peers.entry(omni).or_default();
+        rec.seen.insert(tech, (source, now));
+        match (tech, source) {
+            (TechType::BleBeacon, LowAddr::Ble(a)) => rec.ble = Some((a, now)),
+            (TechType::Nfc, LowAddr::Nfc(a)) => rec.nfc = Some((a, now)),
+            // A message over a live TCP session proves direct reachability.
+            (TechType::WifiTcp, LowAddr::Mesh(m)) => rec.mesh_direct = Some((m, now)),
+            // Multicast sources are group-scoped.
+            (TechType::WifiMulticast, LowAddr::Mesh(m)) => rec.mesh_mcast = Some((m, now)),
+            _ => {}
+        }
+    }
+
+    /// Records the contents of an address beacon received over `via`.
+    pub fn observe_beacon(
+        &mut self,
+        omni: OmniAddress,
+        beacon: &AddressBeaconPayload,
+        via: TechType,
+        now: SimTime,
+    ) {
+        let rec = self.peers.entry(omni).or_default();
+        if let Some(ble) = beacon.ble {
+            rec.ble = Some((ble, now));
+        }
+        if let Some(mesh) = beacon.mesh {
+            // Provenance rule: only low-level neighbor discovery carries
+            // connectable mesh addresses.
+            match via {
+                TechType::BleBeacon | TechType::Nfc => rec.mesh_direct = Some((mesh, now)),
+                _ => rec.mesh_mcast = Some((mesh, now)),
+            }
+        }
+    }
+
+    /// The record for a peer, if any transmissions were observed.
+    pub fn get(&self, omni: OmniAddress) -> Option<&PeerRecord> {
+        self.peers.get(&omni)
+    }
+
+    /// All peers heard within `ttl` of `now`, in stable (address) order.
+    pub fn fresh_peers(&self, now: SimTime, ttl: SimDuration) -> Vec<OmniAddress> {
+        let mut v: Vec<OmniAddress> = self
+            .peers
+            .iter()
+            .filter(|(_, r)| {
+                r.last_seen().map(|at| now.saturating_since(at) <= ttl).unwrap_or(false)
+            })
+            .map(|(a, _)| *a)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether any fresh peer is reachable *only* through `tech` among the
+    /// given context technologies (ordered cheapest-first) — the engagement
+    /// condition of paper §3.3: "as long as beacons continue to arrive from
+    /// at least one peer that is not also transmitting on a lower energy
+    /// technology".
+    pub fn tech_needed(
+        &self,
+        tech: TechType,
+        cheaper: &[TechType],
+        now: SimTime,
+        ttl: SimDuration,
+    ) -> bool {
+        self.peers.values().any(|r| {
+            r.fresh_on(tech, now, ttl) && !cheaper.iter().any(|&c| r.fresh_on(c, now, ttl))
+        })
+    }
+
+    /// Fresh, directly connectable mesh address of a peer.
+    pub fn mesh_direct(&self, omni: OmniAddress, now: SimTime, ttl: SimDuration) -> Option<MeshAddress> {
+        let rec = self.peers.get(&omni)?;
+        if fresh(&rec.mesh_direct, now, ttl) {
+            rec.mesh_direct.map(|(m, _)| m)
+        } else {
+            None
+        }
+    }
+
+    /// Number of known (ever-seen) peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether no peer was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: SimDuration = SimDuration::from_secs(3);
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn observations_refresh_per_tech_sightings() {
+        let mut m = PeerMap::new();
+        let p = OmniAddress::from_u64(1);
+        m.observe(p, TechType::BleBeacon, LowAddr::Ble(BleAddress([1; 6])), t(0));
+        let rec = m.get(p).unwrap();
+        assert!(rec.fresh_on(TechType::BleBeacon, t(1000), TTL));
+        assert!(!rec.fresh_on(TechType::BleBeacon, t(10_000), TTL));
+        assert!(!rec.fresh_on(TechType::WifiTcp, t(0), TTL));
+    }
+
+    #[test]
+    fn beacon_over_ble_yields_connectable_mesh() {
+        let mut m = PeerMap::new();
+        let p = OmniAddress::from_u64(1);
+        let beacon = AddressBeaconPayload {
+            mesh: Some(MeshAddress::from_u64(0xB2)),
+            ble: Some(BleAddress([2; 6])),
+        };
+        m.observe_beacon(p, &beacon, TechType::BleBeacon, t(0));
+        assert_eq!(m.mesh_direct(p, t(100), TTL), Some(MeshAddress::from_u64(0xB2)));
+    }
+
+    #[test]
+    fn beacon_over_multicast_is_not_connectable() {
+        let mut m = PeerMap::new();
+        let p = OmniAddress::from_u64(1);
+        let beacon = AddressBeaconPayload {
+            mesh: Some(MeshAddress::from_u64(0xB2)),
+            ble: None,
+        };
+        m.observe_beacon(p, &beacon, TechType::WifiMulticast, t(0));
+        assert_eq!(m.mesh_direct(p, t(100), TTL), None);
+        assert!(m.get(p).unwrap().mesh_mcast.is_some());
+    }
+
+    #[test]
+    fn tcp_sessions_prove_direct_reachability() {
+        let mut m = PeerMap::new();
+        let p = OmniAddress::from_u64(1);
+        m.observe(p, TechType::WifiTcp, LowAddr::Mesh(MeshAddress::from_u64(0xC3)), t(0));
+        assert_eq!(m.mesh_direct(p, t(100), TTL), Some(MeshAddress::from_u64(0xC3)));
+    }
+
+    #[test]
+    fn direct_mesh_expires_with_ttl() {
+        let mut m = PeerMap::new();
+        let p = OmniAddress::from_u64(1);
+        m.observe(p, TechType::WifiTcp, LowAddr::Mesh(MeshAddress::from_u64(0xC3)), t(0));
+        assert_eq!(m.mesh_direct(p, t(60_000), TTL), None);
+    }
+
+    #[test]
+    fn fresh_peers_filters_stale_entries() {
+        let mut m = PeerMap::new();
+        m.observe(OmniAddress::from_u64(1), TechType::BleBeacon, LowAddr::Ble(BleAddress([1; 6])), t(0));
+        m.observe(OmniAddress::from_u64(2), TechType::BleBeacon, LowAddr::Ble(BleAddress([2; 6])), t(5_000));
+        assert_eq!(m.fresh_peers(t(5_500), TTL), vec![OmniAddress::from_u64(2)]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn tech_needed_implements_the_engagement_condition() {
+        let mut m = PeerMap::new();
+        let only_mcast = OmniAddress::from_u64(1);
+        let both = OmniAddress::from_u64(2);
+        m.observe(only_mcast, TechType::WifiMulticast, LowAddr::Mesh(MeshAddress::from_u64(1)), t(0));
+        m.observe(both, TechType::WifiMulticast, LowAddr::Mesh(MeshAddress::from_u64(2)), t(0));
+        m.observe(both, TechType::BleBeacon, LowAddr::Ble(BleAddress([2; 6])), t(0));
+        // A peer is reachable only via multicast → multicast is needed.
+        assert!(m.tech_needed(TechType::WifiMulticast, &[TechType::BleBeacon], t(100), TTL));
+        // Once that peer goes stale, everyone left also talks BLE → not needed.
+        let mut m2 = PeerMap::new();
+        m2.observe(both, TechType::WifiMulticast, LowAddr::Mesh(MeshAddress::from_u64(2)), t(0));
+        m2.observe(both, TechType::BleBeacon, LowAddr::Ble(BleAddress([2; 6])), t(0));
+        assert!(!m2.tech_needed(TechType::WifiMulticast, &[TechType::BleBeacon], t(100), TTL));
+    }
+}

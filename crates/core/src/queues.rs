@@ -1,0 +1,294 @@
+//! The queue-sharing contract between the Omni Manager and D2D technologies.
+//!
+//! Paper §3.2: "At initialization, each D2D technology is supplied with three
+//! queues shared with the Omni Manager: a *receive_queue* shared across all
+//! D2D technologies, a *response_queue* shared across all D2D technologies,
+//! and a *send_queue* unique to each D2D technology." The queues are the
+//! *only* communication path between technologies and the manager, which is
+//! what makes technology integration modular.
+//!
+//! Queues are `parking_lot`-guarded deques behind `Arc`, so they could be
+//! shared with real technology threads unchanged; in the simulation both
+//! sides are polled from the event loop.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use omni_wire::{BleAddress, MeshAddress, NfcAddress, OmniAddress, PackedStruct, TechType};
+use parking_lot::Mutex;
+
+use omni_sim::SimDuration;
+
+/// A technology-specific low-level address.
+///
+/// Technologies attach their low-level source address to everything they
+/// receive so the manager "can properly process the `omni_packed_struct`"
+/// (paper §3.2) — in particular, refresh the peer mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LowAddr {
+    /// A BLE hardware address.
+    Ble(BleAddress),
+    /// A WiFi-Mesh address.
+    Mesh(MeshAddress),
+    /// An NFC id.
+    Nfc(NfcAddress),
+}
+
+impl std::fmt::Display for LowAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowAddr::Ble(a) => write!(f, "{a}"),
+            LowAddr::Mesh(a) => write!(f, "{a}"),
+            LowAddr::Nfc(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A multi-producer multi-consumer FIFO shared by reference.
+#[derive(Debug)]
+pub struct SharedQueue<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for SharedQueue<T> {
+    fn clone(&self) -> Self {
+        SharedQueue { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Default for SharedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SharedQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        SharedQueue { inner: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Appends an item.
+    pub fn push(&self, item: T) {
+        self.inner.lock().push_back(item);
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        self.inner.lock().drain(..).collect()
+    }
+}
+
+/// An item on the shared receive queue: a transmission some technology
+/// received, tagged with the technology and the low-level source.
+#[derive(Debug, Clone)]
+pub struct ReceivedItem {
+    /// The receiving technology.
+    pub tech: TechType,
+    /// The sender's low-level address on that technology.
+    pub source: LowAddr,
+    /// The decoded transmission.
+    pub packed: PackedStruct,
+}
+
+/// The operation a send request asks a technology to perform.
+///
+/// Paper §3.2 (*The Send Queue*): "For context, the frequency of
+/// transmission, the type of operation (add, remove, update), and optionally
+/// the identifier for the context ... are supplied. For data, only the type
+/// of operation (send) and the low-level destination address are supplied."
+#[derive(Debug, Clone)]
+pub enum SendOp {
+    /// Begin periodically transmitting a context pack.
+    AddContext {
+        /// Manager-assigned context id.
+        context_id: u64,
+        /// Transmission interval.
+        interval: SimDuration,
+    },
+    /// Change an existing periodic transmission.
+    UpdateContext {
+        /// The context id to update.
+        context_id: u64,
+        /// New transmission interval.
+        interval: SimDuration,
+    },
+    /// Stop a periodic transmission.
+    RemoveContext {
+        /// The context id to remove.
+        context_id: u64,
+    },
+    /// One-shot, fire-and-forget rebroadcast of a context pack on behalf of
+    /// another device (multi-hop context relay). No response is generated.
+    RelayContext,
+    /// One-shot directed data transmission.
+    SendData {
+        /// The low-level destination address.
+        dest: LowAddr,
+        /// The destination's unified address (echoed in responses).
+        dest_omni: OmniAddress,
+        /// Logical size of the transfer on the wire (may exceed the packed
+        /// payload length for bulk transfers).
+        wire_len: u64,
+        /// Whether the technology must first establish network-level
+        /// connectivity (scan/join/resolve) because the destination was not
+        /// learned through low-level neighbor discovery.
+        establish: bool,
+    },
+}
+
+/// A request on a technology's send queue.
+#[derive(Debug, Clone)]
+pub struct SendRequest {
+    /// Manager-chosen token correlating the eventual response.
+    pub token: u64,
+    /// What to do.
+    pub op: SendOp,
+    /// The transmission content (absent for `RemoveContext`).
+    pub packed: Option<PackedStruct>,
+}
+
+/// Successful outcomes reported on the response queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseOk {
+    /// A periodic context transmission started.
+    ContextAdded {
+        /// The context id now transmitting.
+        context_id: u64,
+    },
+    /// A periodic context transmission changed.
+    ContextUpdated {
+        /// The updated context id.
+        context_id: u64,
+    },
+    /// A periodic context transmission stopped.
+    ContextRemoved {
+        /// The removed context id.
+        context_id: u64,
+    },
+    /// A data transmission completed.
+    DataSent {
+        /// The destination's unified address.
+        dest_omni: OmniAddress,
+    },
+}
+
+/// A failure reported on the response queue.
+///
+/// "On failure, Omni also forwards all of the details from the send request,
+/// including the parameters and payload, since the Omni Manager needs this
+/// information to perform a re-transmission using an alternative technology"
+/// (paper §3.2).
+#[derive(Debug, Clone)]
+pub struct TechFailure {
+    /// Human-readable reason.
+    pub description: String,
+    /// The complete original request, for replay on another technology.
+    pub original: SendRequest,
+}
+
+/// An item on the shared response queue.
+#[derive(Debug, Clone)]
+pub enum TechResponse {
+    /// The outcome of a send-queue request.
+    Outcome {
+        /// The technology reporting.
+        tech: TechType,
+        /// The request token.
+        token: u64,
+        /// Success or failure (failure carries the original request).
+        result: Result<ResponseOk, TechFailure>,
+    },
+    /// "A response is also generated when the status of the D2D technology
+    /// itself changes, for example, when the radio is turned off or the
+    /// address changes" (paper §3.2).
+    StatusChanged {
+        /// The technology reporting.
+        tech: TechType,
+        /// Whether the technology is currently usable.
+        available: bool,
+    },
+}
+
+/// The bundle of queues handed to a technology at `enable`.
+#[derive(Debug, Clone)]
+pub struct TechQueues {
+    /// Shared across all technologies: received transmissions.
+    pub receive: SharedQueue<ReceivedItem>,
+    /// Shared across all technologies: request outcomes and status changes.
+    pub response: SharedQueue<TechResponse>,
+    /// Unique to this technology: transmission requests.
+    pub send: SharedQueue<SendRequest>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn shared_queue_is_fifo() {
+        let q = SharedQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.drain(), vec![2, 3]);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clones_share_the_same_backing_queue() {
+        let q = SharedQueue::new();
+        let q2 = q.clone();
+        q.push("from-manager");
+        assert_eq!(q2.pop(), Some("from-manager"));
+    }
+
+    #[test]
+    fn shared_queue_is_send_and_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<SharedQueue<SendRequest>>();
+    }
+
+    #[test]
+    fn low_addr_displays_per_technology() {
+        assert!(LowAddr::Ble(BleAddress([1, 2, 3, 4, 5, 6])).to_string().contains(':'));
+        assert!(LowAddr::Mesh(MeshAddress::from_u64(9)).to_string().starts_with("mesh:"));
+        assert!(LowAddr::Nfc(NfcAddress::from_u32(9)).to_string().starts_with("nfc:"));
+    }
+
+    #[test]
+    fn failure_carries_the_original_request_for_replay() {
+        let req = SendRequest {
+            token: 9,
+            op: SendOp::SendData {
+                dest: LowAddr::Mesh(MeshAddress::from_u64(1)),
+                dest_omni: OmniAddress::from_u64(2),
+                wire_len: 30,
+                establish: false,
+            },
+            packed: Some(PackedStruct::data(OmniAddress::from_u64(3), Bytes::from_static(b"x"))),
+        };
+        let failure = TechFailure { description: "peer unreachable".into(), original: req };
+        assert_eq!(failure.original.token, 9);
+        assert!(failure.original.packed.is_some());
+    }
+}

@@ -1,0 +1,246 @@
+//! Context-beacon encryption (paper §3.4, *Security Considerations*).
+//!
+//! "Omni allows applications to interact with unknown devices, which
+//! presents potential security vulnerabilities ... beacons for sharing
+//! context can be encrypted using symmetric encryption. The key to decrypt
+//! the beacon could be shared out of band, for example, by registering the
+//! user device with a centralized authority."
+//!
+//! The cipher is XTEA (Needham & Wheeler, 1997) in counter mode with a
+//! truncated CBC-MAC tag — a deliberately small, dependency-free
+//! construction sized for beacon payloads. Sealed payloads carry an 8-byte
+//! nonce and a 4-byte tag; a receiver without the group key (or a tampered
+//! beacon) fails authentication and the pack is dropped before it reaches
+//! any application, which doubles as the §3.4 authentication-of-nearby-
+//! devices story.
+//!
+//! This is an evaluation-grade construction, not a vetted AEAD: the paper
+//! leaves "extensive discussion of security requirements" out of scope, and
+//! so do we — the point reproduced here is the *architecture* (symmetric
+//! group keys provisioned out of band, encryption transparent to the
+//! developer API, graceful coexistence with unkeyed networks).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+const ROUNDS: u32 = 32;
+const DELTA: u32 = 0x9E37_79B9;
+/// Sealed payload overhead: 8-byte nonce + 4-byte tag.
+pub const SEAL_OVERHEAD: usize = 12;
+
+/// A 128-bit symmetric group key, provisioned out of band.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct GroupKey([u32; 4]);
+
+impl std::fmt::Debug for GroupKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("GroupKey(..)") // never print key material
+    }
+}
+
+impl GroupKey {
+    /// Builds a key from 16 raw bytes.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        let mut k = [0u32; 4];
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            k[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        GroupKey(k)
+    }
+
+    /// Derives a key from a passphrase (FNV-1a based KDF — evaluation
+    /// strength, see module docs).
+    pub fn from_passphrase(phrase: &str) -> Self {
+        let mut bytes = [0u8; 16];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, b) in phrase.bytes().cycle().take(64.max(phrase.len())).enumerate() {
+            h ^= u64::from(b) ^ (i as u64);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            bytes[i % 16] ^= (h >> 24) as u8;
+        }
+        GroupKey::from_bytes(bytes)
+    }
+}
+
+fn encrypt_block(key: &GroupKey, block: u64) -> u64 {
+    let mut v0 = (block >> 32) as u32;
+    let mut v1 = block as u32;
+    let k = key.0;
+    let mut sum: u32 = 0;
+    for _ in 0..ROUNDS {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+        );
+    }
+    (u64::from(v0) << 32) | u64::from(v1)
+}
+
+fn keystream_byte(key: &GroupKey, nonce: u64, index: usize) -> u8 {
+    let block = encrypt_block(key, nonce ^ (index as u64 / 8).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    block.to_be_bytes()[index % 8]
+}
+
+fn mac(key: &GroupKey, nonce: u64, data: &[u8]) -> u32 {
+    // CBC-MAC over 8-byte blocks, length- and nonce-bound.
+    let mut state = encrypt_block(key, nonce ^ (data.len() as u64) << 1);
+    for chunk in data.chunks(8) {
+        let mut block = [0u8; 8];
+        block[..chunk.len()].copy_from_slice(chunk);
+        state = encrypt_block(key, state ^ u64::from_be_bytes(block));
+    }
+    (state >> 32) as u32 ^ state as u32
+}
+
+/// Stateful sealer for a device: encrypts outgoing context payloads with a
+/// monotonically increasing nonce.
+#[derive(Debug, Clone)]
+pub struct ContextCipher {
+    key: GroupKey,
+    /// Device-unique nonce prefix (e.g. derived from the omni address) so
+    /// two devices never reuse a (nonce, key) pair.
+    nonce_prefix: u64,
+    counter: u64,
+}
+
+impl ContextCipher {
+    /// Creates a sealer. `nonce_prefix` must differ per device — the
+    /// manager derives it from the device's `omni_address`.
+    pub fn new(key: GroupKey, nonce_prefix: u64) -> Self {
+        ContextCipher { key, nonce_prefix, counter: 0 }
+    }
+
+    /// The key (for constructing verifiers).
+    pub fn key(&self) -> GroupKey {
+        self.key
+    }
+
+    /// Seals a payload: `nonce(8) ‖ tag(4) ‖ ciphertext`.
+    pub fn seal(&mut self, plain: &[u8]) -> Bytes {
+        self.counter = self.counter.wrapping_add(1);
+        let nonce = self.nonce_prefix.rotate_left(17) ^ self.counter;
+        let mut out = BytesMut::with_capacity(SEAL_OVERHEAD + plain.len());
+        out.put_u64(nonce);
+        out.put_u32(0); // tag placeholder
+        for (i, &b) in plain.iter().enumerate() {
+            out.put_u8(b ^ keystream_byte(&self.key, nonce, i));
+        }
+        let tag = mac(&self.key, nonce, &out[SEAL_OVERHEAD..]);
+        out[8..12].copy_from_slice(&tag.to_be_bytes());
+        out.freeze()
+    }
+
+    /// Opens a sealed payload; `None` when the tag does not verify (wrong
+    /// key, tampering, or truncation).
+    pub fn open(key: &GroupKey, sealed: &[u8]) -> Option<Bytes> {
+        if sealed.len() < SEAL_OVERHEAD {
+            return None;
+        }
+        let nonce = u64::from_be_bytes(sealed[..8].try_into().ok()?);
+        let tag = u32::from_be_bytes(sealed[8..12].try_into().ok()?);
+        let body = &sealed[SEAL_OVERHEAD..];
+        if mac(key, nonce, body) != tag {
+            return None;
+        }
+        let mut plain = BytesMut::with_capacity(body.len());
+        for (i, &b) in body.iter().enumerate() {
+            plain.put_u8(b ^ keystream_byte(key, nonce, i));
+        }
+        Some(plain.freeze())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> GroupKey {
+        GroupKey::from_bytes(*b"0123456789abcdef")
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut c = ContextCipher::new(key(), 42);
+        for plain in [&b""[..], b"x", b"service:tour-audio", &[0u8; 64]] {
+            let sealed = c.seal(plain);
+            assert_eq!(sealed.len(), plain.len() + SEAL_OVERHEAD);
+            let opened = ContextCipher::open(&key(), &sealed).expect("authentic");
+            assert_eq!(&opened[..], plain);
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails_authentication() {
+        let mut c = ContextCipher::new(key(), 42);
+        let sealed = c.seal(b"secret-context");
+        let other = GroupKey::from_passphrase("wrong");
+        assert_eq!(ContextCipher::open(&other, &sealed), None);
+    }
+
+    #[test]
+    fn tampering_fails_authentication() {
+        let mut c = ContextCipher::new(key(), 42);
+        let sealed = c.seal(b"secret-context");
+        for i in 0..sealed.len() {
+            let mut bent = sealed.to_vec();
+            bent[i] ^= 0x40;
+            assert_eq!(ContextCipher::open(&key(), &bent), None, "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut c = ContextCipher::new(key(), 42);
+        let sealed = c.seal(b"secret");
+        assert_eq!(ContextCipher::open(&key(), &sealed[..SEAL_OVERHEAD - 1]), None);
+        assert_eq!(ContextCipher::open(&key(), &[]), None);
+    }
+
+    #[test]
+    fn nonces_never_repeat_across_seals_or_devices() {
+        let mut a = ContextCipher::new(key(), 1);
+        let mut b = ContextCipher::new(key(), 2);
+        let mut nonces = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let sa = a.seal(b"x");
+            let sb = b.seal(b"x");
+            assert!(nonces.insert(sa[..8].to_vec()));
+            assert!(nonces.insert(sb[..8].to_vec()));
+        }
+    }
+
+    #[test]
+    fn ciphertexts_differ_per_seal() {
+        let mut c = ContextCipher::new(key(), 7);
+        let s1 = c.seal(b"same-plaintext");
+        let s2 = c.seal(b"same-plaintext");
+        assert_ne!(s1, s2, "fresh nonce per seal");
+    }
+
+    #[test]
+    fn passphrase_keys_are_stable_and_distinct() {
+        assert_eq!(GroupKey::from_passphrase("tour-group-7"), GroupKey::from_passphrase("tour-group-7"));
+        assert_ne!(GroupKey::from_passphrase("tour-group-7"), GroupKey::from_passphrase("tour-group-8"));
+    }
+
+    #[test]
+    fn debug_never_leaks_key_material() {
+        let k = GroupKey::from_bytes([0xAA; 16]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("aa") && !s.contains("AA") && !s.contains("170"));
+    }
+
+    #[test]
+    fn xtea_reference_vector() {
+        // Published XTEA test vector: key 00010203 04050607 08090a0b 0c0d0e0f,
+        // plaintext 4142434445464748 → ciphertext 497df3d072612cb5.
+        let k = GroupKey::from_bytes([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ]);
+        assert_eq!(encrypt_block(&k, 0x4142_4344_4546_4748), 0x497d_f3d0_7261_2cb5);
+    }
+}

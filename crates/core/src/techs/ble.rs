@@ -1,0 +1,376 @@
+//! BLE beacon technology: periodic context via advertising slots, one-shot
+//! data via advertisement bursts, and built-in neighbor discovery through
+//! continuous scanning.
+//!
+//! This is the paper's flagship low-energy context technology (§3.2,
+//! *Technologies for Distributing Context*). Data support is limited to
+//! payloads that fit a single advertisement ("BLE packets cannot carry the
+//! larger data file", §4.2).
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use omni_sim::{Command, NodeApi, NodeEvent};
+use omni_wire::{BleAddress, OmniAddress, TechType};
+
+use crate::queues::{
+    LowAddr, ReceivedItem, ResponseOk, SendOp, SendRequest, TechFailure, TechQueues, TechResponse,
+};
+use crate::tech::D2dTechnology;
+use crate::techs::frame;
+
+/// The BLE beacon technology.
+#[derive(Debug)]
+pub struct BleBeaconTech {
+    own_omni: OmniAddress,
+    own_addr: BleAddress,
+    max_payload: usize,
+    scan_duty: f64,
+    queues: Option<TechQueues>,
+    /// context_id → advertising slot.
+    slots: HashMap<u64, u32>,
+    next_slot: u32,
+    /// One-shot sends awaiting `BleOneShotSent`, oldest first. `Some` holds
+    /// the original data request (for the response and failure replay);
+    /// `None` marks fire-and-forget relay broadcasts.
+    inflight: VecDeque<Option<SendRequest>>,
+    enabled: bool,
+}
+
+impl BleBeaconTech {
+    /// Creates the technology for a device with the given identity and
+    /// advertisement payload limit. `scan_duty` is the neighbor-discovery
+    /// scanning duty cycle (Omni uses 1.0: continuous, integrated discovery).
+    pub fn new(own_omni: OmniAddress, own_addr: BleAddress, max_payload: usize, scan_duty: f64) -> Self {
+        BleBeaconTech {
+            own_omni,
+            own_addr,
+            max_payload,
+            scan_duty,
+            queues: None,
+            slots: HashMap::new(),
+            next_slot: 0,
+            inflight: VecDeque::new(),
+            enabled: false,
+        }
+    }
+
+    fn respond(&self, resp: TechResponse) {
+        self.queues.as_ref().expect("enabled").response.push(resp);
+    }
+
+    fn fail(&self, token: u64, description: impl Into<String>, original: SendRequest) {
+        self.respond(TechResponse::Outcome {
+            tech: TechType::BleBeacon,
+            token,
+            result: Err(TechFailure { description: description.into(), original }),
+        });
+    }
+
+    fn ok(&self, token: u64, ok: ResponseOk) {
+        self.respond(TechResponse::Outcome {
+            tech: TechType::BleBeacon,
+            token,
+            result: Ok(ok),
+        });
+    }
+
+    fn handle_request(&mut self, req: SendRequest, api: &mut NodeApi<'_>) {
+        match req.op.clone() {
+            SendOp::AddContext { context_id, interval } | SendOp::UpdateContext { context_id, interval } => {
+                let is_update = matches!(req.op, SendOp::UpdateContext { .. });
+                let Some(packed) = req.packed.clone() else {
+                    self.fail(req.token, "context request without payload", req);
+                    return;
+                };
+                let encoded = packed.encode();
+                if encoded.len() > self.max_payload {
+                    self.fail(
+                        req.token,
+                        format!("payload {} exceeds BLE limit {}", encoded.len(), self.max_payload),
+                        req,
+                    );
+                    return;
+                }
+                let slot = *self.slots.entry(context_id).or_insert_with(|| {
+                    self.next_slot += 1;
+                    self.next_slot
+                });
+                api.push(Command::BleAdvertiseSet { slot, payload: encoded, interval });
+                let ok = if is_update {
+                    ResponseOk::ContextUpdated { context_id }
+                } else {
+                    ResponseOk::ContextAdded { context_id }
+                };
+                self.ok(req.token, ok);
+            }
+            SendOp::RelayContext => {
+                if let Some(packed) = req.packed {
+                    let encoded = packed.encode();
+                    if encoded.len() <= self.max_payload {
+                        api.push(Command::BleSendOneShot { payload: encoded });
+                        self.inflight.push_back(None);
+                    }
+                }
+            }
+            SendOp::RemoveContext { context_id } => {
+                match self.slots.remove(&context_id) {
+                    Some(slot) => {
+                        api.push(Command::BleAdvertiseStop { slot });
+                        self.ok(req.token, ResponseOk::ContextRemoved { context_id });
+                    }
+                    None => {
+                        self.fail(req.token, format!("unknown context {context_id}"), req);
+                    }
+                }
+            }
+            SendOp::SendData { dest, dest_omni, .. } => {
+                let LowAddr::Ble(_) = dest else {
+                    self.fail(req.token, "destination has no BLE address", req);
+                    return;
+                };
+                let Some(packed) = req.packed.clone() else {
+                    self.fail(req.token, "data request without payload", req);
+                    return;
+                };
+                let framed = frame::encode_directed(dest_omni, &packed);
+                if framed.len() > self.max_payload {
+                    self.fail(
+                        req.token,
+                        format!("payload {} exceeds BLE limit {}", framed.len(), self.max_payload),
+                        req,
+                    );
+                    return;
+                }
+                api.push(Command::BleSendOneShot { payload: framed });
+                self.inflight.push_back(Some(req));
+            }
+        }
+    }
+
+    fn on_frame(&mut self, from: BleAddress, payload: &Bytes) {
+        let Some(queues) = self.queues.as_ref() else {
+            return;
+        };
+        if let Some(packed) = frame::decode_for(self.own_omni, payload) {
+            queues.receive.push(ReceivedItem {
+                tech: TechType::BleBeacon,
+                source: LowAddr::Ble(from),
+                packed,
+            });
+        }
+    }
+}
+
+impl D2dTechnology for BleBeaconTech {
+    fn enable(
+        &mut self,
+        queues: TechQueues,
+        _token_base: u64,
+        api: &mut NodeApi<'_>,
+    ) -> (TechType, LowAddr) {
+        self.queues = Some(queues);
+        self.enabled = true;
+        // Integrated neighbor discovery: scan continuously (or at the
+        // configured duty cycle).
+        api.push(Command::BleSetScan { duty: Some(self.scan_duty) });
+        (TechType::BleBeacon, LowAddr::Ble(self.own_addr))
+    }
+
+    fn disable(&mut self, api: &mut NodeApi<'_>) {
+        self.enabled = false;
+        // Gracefully fail anything still queued (paper §3.2: process
+        // remaining requests and push the requisite responses).
+        if let Some(queues) = self.queues.clone() {
+            for req in queues.send.drain() {
+                self.fail(req.token, "technology disabled", req);
+            }
+            while let Some(entry) = self.inflight.pop_front() {
+                if let Some(req) = entry {
+                    self.fail(req.token, "technology disabled", req);
+                }
+            }
+            self.respond(TechResponse::StatusChanged { tech: TechType::BleBeacon, available: false });
+        }
+        for (_, slot) in self.slots.drain() {
+            api.push(Command::BleAdvertiseStop { slot });
+        }
+        api.push(Command::BleSetScan { duty: None });
+    }
+
+    fn tech_type(&self) -> TechType {
+        TechType::BleBeacon
+    }
+
+    fn poll(&mut self, api: &mut NodeApi<'_>) {
+        if !self.enabled {
+            return;
+        }
+        let Some(queues) = self.queues.clone() else {
+            return;
+        };
+        while let Some(req) = queues.send.pop() {
+            self.handle_request(req, api);
+        }
+    }
+
+    fn on_node_event(&mut self, event: &NodeEvent, _api: &mut NodeApi<'_>) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        match event {
+            NodeEvent::BleBeacon { from, payload } | NodeEvent::BleOneShot { from, payload } => {
+                self.on_frame(*from, payload);
+                true
+            }
+            NodeEvent::BleOneShotSent => {
+                if let Some(Some(req)) = self.inflight.pop_front() {
+                    if let SendOp::SendData { dest_omni, .. } = req.op {
+                        self.ok(req.token, ResponseOk::DataSent { dest_omni });
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Interval guard: BLE advertising slots are per-context; re-adding the same
+/// context reuses its slot (exercised in tests).
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_sim::{DeviceId, SimDuration, SimTime};
+    use omni_wire::PackedStruct;
+
+    fn api_harness() -> (Vec<(DeviceId, Command)>,) {
+        (Vec::new(),)
+    }
+
+    fn mk() -> (BleBeaconTech, TechQueues) {
+        let tech = BleBeaconTech::new(
+            OmniAddress::from_u64(1),
+            BleAddress([2, 0, 0, 0, 0, 1]),
+            64,
+            1.0,
+        );
+        let queues = TechQueues {
+            receive: crate::queues::SharedQueue::new(),
+            response: crate::queues::SharedQueue::new(),
+            send: crate::queues::SharedQueue::new(),
+        };
+        (tech, queues)
+    }
+
+    fn with_api<R>(cmds: &mut Vec<(DeviceId, Command)>, f: impl FnOnce(&mut NodeApi<'_>) -> R) -> R {
+        let mut api = NodeApi::detached(DeviceId(0), SimTime::ZERO, cmds);
+        f(&mut api)
+    }
+
+    #[test]
+    fn enable_starts_scanning_and_reports_identity() {
+        let (mut tech, queues) = mk();
+        let (mut cmds,) = api_harness();
+        let (ty, addr) = with_api(&mut cmds, |api| tech.enable(queues, 0, api));
+        assert_eq!(ty, TechType::BleBeacon);
+        assert!(matches!(addr, LowAddr::Ble(_)));
+        assert!(cmds.iter().any(|(_, c)| matches!(c, Command::BleSetScan { duty: Some(d) } if *d == 1.0)));
+    }
+
+    #[test]
+    fn add_context_sets_an_advertising_slot_and_reports_success() {
+        let (mut tech, queues) = mk();
+        let (mut cmds,) = api_harness();
+        with_api(&mut cmds, |api| {
+            tech.enable(queues.clone(), 0, api);
+        });
+        queues.send.push(SendRequest {
+            token: 5,
+            op: SendOp::AddContext { context_id: 1, interval: SimDuration::from_millis(500) },
+            packed: Some(PackedStruct::context(OmniAddress::from_u64(1), Bytes::from_static(b"svc"))),
+        });
+        with_api(&mut cmds, |api| tech.poll(api));
+        assert!(cmds.iter().any(|(_, c)| matches!(c, Command::BleAdvertiseSet { .. })));
+        match queues.response.pop() {
+            Some(TechResponse::Outcome { token: 5, result: Ok(ResponseOk::ContextAdded { context_id: 1 }), .. }) => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_context_fails_with_original_request() {
+        let (mut tech, queues) = mk();
+        let (mut cmds,) = api_harness();
+        with_api(&mut cmds, |api| {
+            tech.enable(queues.clone(), 0, api);
+        });
+        let big = vec![0u8; 100];
+        queues.send.push(SendRequest {
+            token: 9,
+            op: SendOp::AddContext { context_id: 2, interval: SimDuration::from_millis(500) },
+            packed: Some(PackedStruct::context(OmniAddress::from_u64(1), big)),
+        });
+        with_api(&mut cmds, |api| tech.poll(api));
+        match queues.response.pop() {
+            Some(TechResponse::Outcome { token: 9, result: Err(f), .. }) => {
+                assert!(f.description.contains("exceeds BLE limit"));
+                assert_eq!(f.original.token, 9);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directed_data_for_another_device_is_dropped() {
+        let (mut tech, queues) = mk();
+        let (mut cmds,) = api_harness();
+        with_api(&mut cmds, |api| {
+            tech.enable(queues.clone(), 0, api);
+        });
+        // Build a frame addressed to omni 0x99 (not us).
+        let inner = PackedStruct::data(OmniAddress::from_u64(7), Bytes::from_static(b"x"));
+        let framed = frame::encode_directed(OmniAddress::from_u64(0x99), &inner);
+        let ev = NodeEvent::BleOneShot { from: BleAddress([9; 6]), payload: framed };
+        with_api(&mut cmds, |api| tech.on_node_event(&ev, api));
+        assert!(queues.receive.is_empty());
+    }
+
+    #[test]
+    fn context_frames_reach_the_receive_queue() {
+        let (mut tech, queues) = mk();
+        let (mut cmds,) = api_harness();
+        with_api(&mut cmds, |api| {
+            tech.enable(queues.clone(), 0, api);
+        });
+        let packed = PackedStruct::context(OmniAddress::from_u64(7), Bytes::from_static(b"svc"));
+        let ev = NodeEvent::BleBeacon { from: BleAddress([9; 6]), payload: packed.encode() };
+        with_api(&mut cmds, |api| tech.on_node_event(&ev, api));
+        let item = queues.receive.pop().expect("received");
+        assert_eq!(item.tech, TechType::BleBeacon);
+        assert_eq!(item.packed, packed);
+    }
+
+    #[test]
+    fn disable_fails_pending_requests() {
+        let (mut tech, queues) = mk();
+        let (mut cmds,) = api_harness();
+        with_api(&mut cmds, |api| {
+            tech.enable(queues.clone(), 0, api);
+        });
+        queues.send.push(SendRequest {
+            token: 1,
+            op: SendOp::RemoveContext { context_id: 42 },
+            packed: None,
+        });
+        with_api(&mut cmds, |api| tech.disable(api));
+        let responses = queues.response.drain();
+        assert!(responses.iter().any(|r| matches!(
+            r,
+            TechResponse::Outcome { token: 1, result: Err(_), .. }
+        )));
+        assert!(responses
+            .iter()
+            .any(|r| matches!(r, TechResponse::StatusChanged { available: false, .. })));
+    }
+}

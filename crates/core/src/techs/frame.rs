@@ -1,0 +1,77 @@
+//! Directed-frame helpers shared by the broadcast technologies (BLE, NFC).
+//!
+//! Broadcast media deliver everything to everyone in range; directed data
+//! needs an explicit destination so non-addressees can drop it cheaply. A
+//! directed frame is `0xD0 ‖ dest omni_address ‖ omni_packed_struct`; raw
+//! packed structs (context, address beacons) are left untagged — their first
+//! byte is a [`omni_wire::ContentKind`] (0, 1 or 2), which never collides
+//! with the tag.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use omni_wire::{OmniAddress, PackedStruct};
+
+/// Tag byte marking a directed data frame.
+pub const DATA_TAG: u8 = 0xD0;
+
+/// Wraps a packed struct with a destination address.
+pub fn encode_directed(dest: OmniAddress, packed: &PackedStruct) -> Bytes {
+    let inner = packed.encode();
+    let mut frame = BytesMut::with_capacity(9 + inner.len());
+    frame.put_u8(DATA_TAG);
+    frame.put_slice(&dest.to_bytes());
+    frame.put_slice(&inner);
+    frame.freeze()
+}
+
+/// Interprets a broadcast frame.
+///
+/// Returns the decoded packed struct when the frame is either untagged
+/// (broadcast context/beacon) or a directed frame addressed to `own`;
+/// `None` when it is addressed elsewhere or malformed.
+pub fn decode_for(own: OmniAddress, frame: &[u8]) -> Option<PackedStruct> {
+    if frame.first() == Some(&DATA_TAG) {
+        if frame.len() < 9 {
+            return None;
+        }
+        let mut dest = [0u8; 8];
+        dest.copy_from_slice(&frame[1..9]);
+        if OmniAddress::from_bytes(dest) != own {
+            return None;
+        }
+        PackedStruct::decode(&frame[9..]).ok()
+    } else {
+        PackedStruct::decode(frame).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_frame_roundtrips_for_the_addressee() {
+        let me = OmniAddress::from_u64(0xAB);
+        let p = PackedStruct::data(OmniAddress::from_u64(1), Bytes::from_static(b"hi"));
+        let frame = encode_directed(me, &p);
+        assert_eq!(decode_for(me, &frame), Some(p));
+    }
+
+    #[test]
+    fn directed_frame_is_dropped_by_others() {
+        let p = PackedStruct::data(OmniAddress::from_u64(1), Bytes::from_static(b"hi"));
+        let frame = encode_directed(OmniAddress::from_u64(0xAB), &p);
+        assert_eq!(decode_for(OmniAddress::from_u64(0xCD), &frame), None);
+    }
+
+    #[test]
+    fn untagged_frames_decode_for_anyone() {
+        let p = PackedStruct::context(OmniAddress::from_u64(1), Bytes::from_static(b"ctx"));
+        assert_eq!(decode_for(OmniAddress::from_u64(0xCD), &p.encode()), Some(p));
+    }
+
+    #[test]
+    fn malformed_frames_are_dropped() {
+        assert_eq!(decode_for(OmniAddress::from_u64(1), &[DATA_TAG, 1, 2]), None);
+        assert_eq!(decode_for(OmniAddress::from_u64(1), &[]), None);
+    }
+}

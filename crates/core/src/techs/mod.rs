@@ -1,0 +1,12 @@
+//! D2D technology implementations for the Communication Technology API.
+
+mod ble;
+pub(crate) mod frame;
+mod nfc;
+mod wifi_mcast;
+mod wifi_tcp;
+
+pub use ble::BleBeaconTech;
+pub use nfc::NfcTech;
+pub use wifi_mcast::WifiMulticastTech;
+pub use wifi_tcp::WifiTcpTech;

@@ -1,0 +1,68 @@
+//! Property-based tests for the §3.4 beacon cipher.
+
+use omni_core::{ContextCipher, GroupKey};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = GroupKey> {
+    any::<[u8; 16]>().prop_map(GroupKey::from_bytes)
+}
+
+proptest! {
+    /// seal → open is the identity for every key, nonce prefix, and payload.
+    #[test]
+    fn seal_open_roundtrip(
+        key in arb_key(),
+        prefix in any::<u64>(),
+        plain in proptest::collection::vec(any::<u8>(), 0..128),
+        seals_before in 0usize..8,
+    ) {
+        let mut c = ContextCipher::new(key, prefix);
+        for _ in 0..seals_before {
+            let _ = c.seal(b"warmup");
+        }
+        let sealed = c.seal(&plain);
+        let opened = ContextCipher::open(&key, &sealed).expect("authentic");
+        prop_assert_eq!(&opened[..], &plain[..]);
+    }
+
+    /// A different key never authenticates (probabilistically: the 32-bit
+    /// tag makes an accidental pass a ~2^-32 event, far below proptest's
+    /// case count).
+    #[test]
+    fn cross_key_never_authenticates(
+        k1 in arb_key(),
+        k2 in arb_key(),
+        plain in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        prop_assume!(k1 != k2);
+        let mut c = ContextCipher::new(k1, 7);
+        let sealed = c.seal(&plain);
+        prop_assert_eq!(ContextCipher::open(&k2, &sealed), None);
+    }
+
+    /// Any single-byte corruption is detected.
+    #[test]
+    fn corruption_is_detected(
+        key in arb_key(),
+        plain in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut c = ContextCipher::new(key, 7);
+        let sealed = c.seal(&plain);
+        let mut bent = sealed.to_vec();
+        let idx = flip_at.index(bent.len());
+        bent[idx] ^= 1 << flip_bit;
+        prop_assert_eq!(ContextCipher::open(&key, &bent), None);
+    }
+
+    /// Opening arbitrary garbage never panics and never authenticates.
+    #[test]
+    fn open_is_total(
+        key in arb_key(),
+        junk in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        // (A forged 32-bit tag passing by chance is a ~2^-32 event.)
+        prop_assert_eq!(ContextCipher::open(&key, &junk), None);
+    }
+}

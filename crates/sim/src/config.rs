@@ -1,0 +1,215 @@
+//! Simulation parameters.
+//!
+//! Current draws come verbatim from Table 3 of the paper; timing and
+//! throughput parameters are calibrated so that the controlled comparison
+//! (Table 4) lands near the paper's measurements. See `DESIGN.md` §2 for the
+//! calibration rationale.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Top-level simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seed for the simulation's deterministic RNG.
+    pub seed: u64,
+    /// Current-draw model (Table 3).
+    pub energy: EnergyParams,
+    /// WiFi-Mesh radio model.
+    pub wifi: WifiParams,
+    /// BLE radio model.
+    pub ble: BleParams,
+    /// NFC model.
+    pub nfc: NfcParams,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x0_0141,
+            energy: EnergyParams::default(),
+            wifi: WifiParams::default(),
+            ble: BleParams::default(),
+            nfc: NfcParams::default(),
+        }
+    }
+}
+
+/// Current draws in milliamps.
+///
+/// Values marked (Table 3) are the paper's measurements on the Raspberry Pi
+/// testbed, "relative to WiFi-standby". The ledger accounts everything
+/// relative to the device's cold floor, with WiFi-standby itself contributed
+/// by the `WifiOn` state; experiment harnesses subtract the standby current to
+/// report numbers on the paper's baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// WiFi radio powered, idle (92.1 mA, §4.1).
+    pub wifi_standby_ma: f64,
+    /// Additional draw during WiFi receive (Table 3: 162.4 mA).
+    pub wifi_rx_ma: f64,
+    /// Additional draw during WiFi send (Table 3: 183.3 mA).
+    pub wifi_tx_ma: f64,
+    /// Additional draw during a WiFi network scan (Table 3: 129.2 mA).
+    pub wifi_scan_ma: f64,
+    /// Additional draw while connecting/associating (Table 3: 169.0 mA).
+    pub wifi_connect_ma: f64,
+    /// Additional draw during a rate-limited infrastructure download.
+    ///
+    /// Calibrated: sustained trickle reception keeps the radio in power-save
+    /// polling rather than full receive (Table 5 column shapes).
+    pub wifi_infra_rx_ma: f64,
+    /// Additional draw while transmitting bulk multicast at the basic rate.
+    ///
+    /// Calibrated below `wifi_tx_ma`: basic-rate frames spend most airtime at
+    /// low modulation with inter-frame gaps (Table 5, SP column).
+    pub wifi_mcast_bulk_tx_ma: f64,
+    /// BLE scanning (Table 3: 7.0 mA).
+    pub ble_scan_ma: f64,
+    /// BLE advertising (Table 3: 8.2 mA, drawn during each advertising
+    /// pulse).
+    pub ble_adv_ma: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            wifi_standby_ma: 92.1,
+            wifi_rx_ma: 162.4,
+            wifi_tx_ma: 183.3,
+            wifi_scan_ma: 129.2,
+            wifi_connect_ma: 169.0,
+            wifi_infra_rx_ma: 35.0,
+            wifi_mcast_bulk_tx_ma: 90.0,
+            ble_scan_ma: 7.0,
+            ble_adv_ma: 8.2,
+        }
+    }
+}
+
+/// WiFi-Mesh model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WifiParams {
+    /// Radio range in meters.
+    pub range_m: f64,
+    /// Duration of a network scan ("expensive sequence of interactive
+    /// operations", §2.1; calibrated to Table 4).
+    pub scan_time: SimDuration,
+    /// Duration of joining/associating with a discovered group.
+    pub join_time: SimDuration,
+    /// TCP connection establishment to an already-known mesh address
+    /// (802.11s mesh peering + handshake).
+    pub tcp_connect_time: SimDuration,
+    /// Unicast goodput in bytes/second, shared fluidly among active flows.
+    pub capacity_bps: f64,
+    /// Multicast bulk goodput in bytes/second (basic-rate limited; §3.2:
+    /// multicast "is often slow").
+    pub mcast_rate_bps: f64,
+    /// Fixed channel occupancy per multicast packet (airtime the packet
+    /// steals from concurrent unicast flows — the Table 5 "impediment").
+    pub mcast_fixed_airtime: SimDuration,
+    /// Fixed protocol overhead added to every TCP message, in bytes.
+    pub tcp_overhead_bytes: u64,
+}
+
+impl Default for WifiParams {
+    fn default() -> Self {
+        WifiParams {
+            range_m: 100.0,
+            scan_time: SimDuration::from_millis(1300),
+            join_time: SimDuration::from_millis(1200),
+            tcp_connect_time: SimDuration::from_millis(6),
+            capacity_bps: 8_100_000.0,
+            mcast_rate_bps: 166_000.0,
+            mcast_fixed_airtime: SimDuration::from_millis(30),
+            tcp_overhead_bytes: 60,
+        }
+    }
+}
+
+/// BLE model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BleParams {
+    /// Radio range in meters.
+    pub range_m: f64,
+    /// Duration of one advertising pulse (three-channel advertising event,
+    /// including host overhead). Charged at `ble_adv_ma`.
+    pub adv_pulse: SimDuration,
+    /// Latency from a one-shot advertisement burst to reception by a
+    /// continuously scanning neighbor. Two of these make the paper's 82 ms
+    /// BLE request/response interaction (Table 4, BLE/BLE row).
+    pub oneshot_latency: SimDuration,
+    /// Duration of the one-shot advertising burst (kept on-air until the
+    /// scanner's window catches it). Charged at `ble_adv_ma`.
+    pub oneshot_pulse: SimDuration,
+    /// Maximum advertisement payload in bytes. Sized for Bluetooth 4.x
+    /// extended advertising; carries the 23-byte address beacon and small
+    /// context/data items, but never bulk data (paper: "BLE packets cannot
+    /// carry the larger data file").
+    pub max_payload: usize,
+}
+
+impl Default for BleParams {
+    fn default() -> Self {
+        BleParams {
+            range_m: 30.0,
+            adv_pulse: SimDuration::from_millis(10),
+            oneshot_latency: SimDuration::from_millis(41),
+            oneshot_pulse: SimDuration::from_millis(41),
+            max_payload: 64,
+        }
+    }
+}
+
+/// NFC model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NfcParams {
+    /// Touch range in meters.
+    pub range_m: f64,
+    /// Exchange latency once in touch range.
+    pub touch_latency: SimDuration,
+    /// Maximum NDEF payload in bytes.
+    pub max_payload: usize,
+}
+
+impl Default for NfcParams {
+    fn default() -> Self {
+        NfcParams {
+            range_m: 0.15,
+            touch_latency: SimDuration::from_millis(5),
+            max_payload: 4096,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let e = EnergyParams::default();
+        assert_eq!(e.wifi_standby_ma, 92.1);
+        assert_eq!(e.wifi_rx_ma, 162.4);
+        assert_eq!(e.wifi_tx_ma, 183.3);
+        assert_eq!(e.wifi_scan_ma, 129.2);
+        assert_eq!(e.wifi_connect_ma, 169.0);
+        assert_eq!(e.ble_scan_ma, 7.0);
+        assert_eq!(e.ble_adv_ma, 8.2);
+    }
+
+    #[test]
+    fn ble_round_trip_matches_table4_ble_latency() {
+        let b = BleParams::default();
+        // Two one-shot rendezvous = the 82 ms BLE/BLE service interaction.
+        assert_eq!(2 * b.oneshot_latency.as_millis(), 82);
+    }
+
+    #[test]
+    fn config_is_cloneable_and_serializable() {
+        let c = SimConfig::default();
+        let c2 = c.clone();
+        assert_eq!(c2.wifi.scan_time, c.wifi.scan_time);
+    }
+}

@@ -1,0 +1,1170 @@
+//! The discrete-event simulation runner.
+//!
+//! The [`Runner`] owns the virtual clock, the event queue, every device's
+//! radio state, the shared WiFi medium, the energy ledger, and the protocol
+//! [`Stack`]s. Determinism: events are ordered by `(time, sequence)` and all
+//! randomness flows from the configured seed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use bytes::Bytes;
+use omni_wire::{BleAddress, MeshAddress, NfcAddress};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::energy::{EnergyLedger, EnergyState};
+use crate::medium::{Flow, McastJob, WifiMedium};
+use crate::node::{Command, ConnId, DeviceId, NodeApi, NodeEvent, Stack, TcpError};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+use crate::world::{Position, World};
+
+/// Which radios a device is built with. Present radios start powered on.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCaps {
+    /// Has a BLE radio.
+    pub ble: bool,
+    /// Has a WiFi-Mesh radio.
+    pub wifi: bool,
+    /// Has NFC.
+    pub nfc: bool,
+}
+
+impl DeviceCaps {
+    /// BLE + WiFi + NFC (a modern smartphone, per paper Figure 3).
+    pub const PHONE: DeviceCaps = DeviceCaps { ble: true, wifi: true, nfc: true };
+    /// BLE + WiFi (the Raspberry Pi testbed devices of §4).
+    pub const PI: DeviceCaps = DeviceCaps { ble: true, wifi: true, nfc: false };
+    /// BLE only (a simple beacon).
+    pub const BEACON: DeviceCaps = DeviceCaps { ble: true, wifi: false, nfc: false };
+}
+
+#[derive(Debug, Clone)]
+struct BleSlot {
+    payload: Bytes,
+    interval: SimDuration,
+    gen: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveInfra {
+    req: u64,
+    total: u64,
+    chunk: u64,
+    received: u64,
+    next_chunk_index: u64,
+}
+
+#[derive(Debug)]
+struct DeviceState {
+    caps: DeviceCaps,
+    ble_on: bool,
+    ble_scan_duty: Option<f64>,
+    ble_slots: HashMap<u32, BleSlot>,
+    ble_addr: BleAddress,
+    wifi_on: bool,
+    wifi_joined: bool,
+    wifi_mcast_listen: bool,
+    wifi_scanning: bool,
+    wifi_scan_gen: u64,
+    wifi_joining: bool,
+    wifi_join_gen: u64,
+    mesh_addr: MeshAddress,
+    nfc_addr: NfcAddress,
+    infra_rate_bps: f64,
+    infra_queue: VecDeque<(u64, u64, u64)>, // (req, total, chunk)
+    infra_active: Option<ActiveInfra>,
+    infra_gen: u64,
+    macs: Vec<[u8; 6]>,
+}
+
+#[derive(Debug)]
+struct Connection {
+    a: DeviceId,
+    b: DeviceId,
+    open: bool,
+    /// Pending messages per direction (0: a→b, 1: b→a).
+    pending: [VecDeque<(Bytes, f64)>; 2],
+    /// Whether a flow for the direction is in the medium.
+    active: [bool; 2],
+}
+
+impl Connection {
+    fn dir_from(&self, dev: DeviceId) -> Option<usize> {
+        if dev == self.a {
+            Some(0)
+        } else if dev == self.b {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    fn endpoint(&self, dir: usize) -> (DeviceId, DeviceId) {
+        if dir == 0 {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        }
+    }
+
+    fn involves(&self, dev: DeviceId) -> bool {
+        self.a == dev || self.b == dev
+    }
+}
+
+#[derive(Debug)]
+enum Engine {
+    StartStack { dev: DeviceId },
+    Timer { dev: DeviceId, token: u64, gen: u64 },
+    BleAdv { dev: DeviceId, slot: u32, gen: u64 },
+    BleOneShotDeliver { to: DeviceId, from: DeviceId, payload: Bytes },
+    BleOneShotSent { dev: DeviceId },
+    WifiScanDone { dev: DeviceId, gen: u64 },
+    WifiJoinDone { dev: DeviceId, gen: u64 },
+    /// Immediate confirmation for a join issued while already joined.
+    WifiJoinEcho { dev: DeviceId },
+    TcpConnectDone { initiator: DeviceId, token: u64, target: DeviceId },
+    TcpConnectFail { dev: DeviceId, token: u64, error: TcpError },
+    FlowBoundary { gen: u64 },
+    McastDone { gen: u64 },
+    NfcDeliver { to: DeviceId, from: DeviceId, payload: Bytes },
+    InfraChunkDone { dev: DeviceId, gen: u64 },
+    Teleport { dev: DeviceId, pos: Position },
+    WalkStep { dev: DeviceId, to: Position, speed_mps: f64 },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Engine,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulation runner. See the crate docs for the overall model.
+pub struct Runner {
+    cfg: SimConfig,
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    rng: SmallRng,
+    world: World,
+    energy: EnergyLedger,
+    trace: Trace,
+    devices: Vec<DeviceState>,
+    stacks: Vec<Option<Box<dyn Stack>>>,
+    medium: WifiMedium,
+    conns: Vec<Connection>,
+    mesh_index: HashMap<MeshAddress, DeviceId>,
+    timer_gens: HashMap<(usize, u64), u64>,
+    cmd_buf: Vec<(DeviceId, Command)>,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("now", &self.now)
+            .field("devices", &self.devices.len())
+            .field("pending_events", &self.heap.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runner {
+    /// Creates a runner with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let medium = WifiMedium::new(cfg.wifi.capacity_bps);
+        Runner {
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            rng,
+            world: World::new(),
+            energy: EnergyLedger::new(),
+            trace: Trace::new(),
+            devices: Vec::new(),
+            stacks: Vec::new(),
+            medium,
+            conns: Vec::new(),
+            mesh_index: HashMap::new(),
+            timer_gens: HashMap::new(),
+            cmd_buf: Vec::new(),
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The energy ledger.
+    pub fn energy(&self) -> &EnergyLedger {
+        &self.energy
+    }
+
+    /// The trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace access (to disable recording for long runs).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// The world (placements).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Adds a device with the given radios at the given position.
+    /// Present radios start powered on (WiFi standby draw starts accruing
+    /// immediately, as on the paper's testbed).
+    pub fn add_device(&mut self, caps: DeviceCaps, pos: Position) -> DeviceId {
+        let idx = self.devices.len();
+        let id = DeviceId(idx);
+        let n = idx as u64 + 1;
+        let mesh_addr = MeshAddress::from_u64(0x0a00_0000_0000_0000 | n);
+        let ble_addr = BleAddress::from_u64(0x0200_0000_0000 | n);
+        let nfc_addr = NfcAddress::from_u32(n as u32);
+        let mut macs = Vec::new();
+        if caps.wifi {
+            macs.push([0x02, 0x57, 0x1f, 0x00, (n >> 8) as u8, n as u8]);
+        }
+        if caps.ble {
+            macs.push(ble_addr.0);
+        }
+        if macs.is_empty() {
+            // NFC-only devices still need an identity source.
+            macs.push([0x02, 0x4e, 0x46, 0x43, (n >> 8) as u8, n as u8]);
+        }
+        self.devices.push(DeviceState {
+            caps,
+            ble_on: caps.ble,
+            ble_scan_duty: None,
+            ble_slots: HashMap::new(),
+            ble_addr,
+            wifi_on: caps.wifi,
+            wifi_joined: false,
+            wifi_mcast_listen: false,
+            wifi_scanning: false,
+            wifi_scan_gen: 0,
+            wifi_joining: false,
+            wifi_join_gen: 0,
+            mesh_addr,
+            nfc_addr,
+            infra_rate_bps: 0.0,
+            infra_queue: VecDeque::new(),
+            infra_active: None,
+            infra_gen: 0,
+            macs,
+        });
+        self.stacks.push(None);
+        self.world.add_device(pos);
+        self.energy.add_device();
+        if caps.wifi {
+            self.energy.enter(id, self.now, EnergyState::WifiOn, self.cfg.energy.wifi_standby_ma);
+        }
+        self.mesh_index.insert(mesh_addr, id);
+        id
+    }
+
+    /// Attaches a stack to a device. The stack receives [`NodeEvent::Start`]
+    /// at the current virtual time once the simulation runs.
+    pub fn set_stack(&mut self, dev: DeviceId, stack: Box<dyn Stack>) {
+        self.stacks[dev.0] = Some(stack);
+        self.schedule(SimDuration::ZERO, Engine::StartStack { dev });
+    }
+
+    /// Sets the device's infrastructure downlink rate in bytes/second.
+    pub fn set_infra_rate(&mut self, dev: DeviceId, bytes_per_sec: f64) {
+        assert!(bytes_per_sec >= 0.0);
+        self.devices[dev.0].infra_rate_bps = bytes_per_sec;
+    }
+
+    /// Schedules an instantaneous move of a device at a future time.
+    pub fn schedule_teleport(&mut self, dev: DeviceId, at: SimTime, pos: Position) {
+        let delay = at.saturating_since(self.now);
+        self.schedule(delay, Engine::Teleport { dev, pos });
+    }
+
+    /// Schedules a continuous walk: starting at `depart`, the device moves
+    /// in a straight line toward `to` at `speed_mps` meters per second,
+    /// updating its position once per second (encounter dynamics — range
+    /// checks, connection audits — happen at every step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is not strictly positive and finite.
+    pub fn schedule_walk(&mut self, dev: DeviceId, depart: SimTime, to: Position, speed_mps: f64) {
+        assert!(speed_mps > 0.0 && speed_mps.is_finite(), "walking speed must be positive");
+        // The first step lands one second after departure (the walker covers
+        // its first `speed_mps` meters during that second).
+        let delay = depart.saturating_since(self.now) + SimDuration::from_secs(1);
+        self.schedule(delay, Engine::WalkStep { dev, to, speed_mps });
+    }
+
+    /// The device's WiFi-Mesh address.
+    pub fn mesh_addr(&self, dev: DeviceId) -> MeshAddress {
+        self.devices[dev.0].mesh_addr
+    }
+
+    /// The device's BLE address.
+    pub fn ble_addr(&self, dev: DeviceId) -> BleAddress {
+        self.devices[dev.0].ble_addr
+    }
+
+    /// The device's NFC id.
+    pub fn nfc_addr(&self, dev: DeviceId) -> NfcAddress {
+        self.devices[dev.0].nfc_addr
+    }
+
+    /// The device's hardware MAC addresses (for `omni_address` derivation).
+    pub fn macs(&self, dev: DeviceId) -> &[[u8; 6]] {
+        &self.devices[dev.0].macs
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the device's WiFi radio is powered.
+    pub fn wifi_on(&self, dev: DeviceId) -> bool {
+        self.devices[dev.0].wifi_on
+    }
+
+    /// Whether the device is joined to the mesh group.
+    pub fn wifi_joined(&self, dev: DeviceId) -> bool {
+        self.devices[dev.0].wifi_joined
+    }
+
+    /// Whether the device is BLE-scanning.
+    pub fn ble_scanning(&self, dev: DeviceId) -> bool {
+        self.devices[dev.0].ble_scan_duty.is_some()
+    }
+
+    /// Runs the simulation up to and including `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.at > t {
+                break;
+            }
+            let Reverse(sch) = self.heap.pop().expect("peeked");
+            debug_assert!(sch.at >= self.now, "event queue went backwards");
+            self.now = sch.at;
+            self.handle(sch.ev);
+        }
+        self.now = t;
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until the event queue drains or `cap` is reached; returns the
+    /// final virtual time.
+    pub fn run_until_idle(&mut self, cap: SimTime) -> SimTime {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.at > cap {
+                self.now = cap;
+                return self.now;
+            }
+            let Reverse(sch) = self.heap.pop().expect("peeked");
+            self.now = sch.at;
+            self.handle(sch.ev);
+        }
+        self.now
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, delay: SimDuration, ev: Engine) {
+        let at = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, ev }));
+    }
+
+    /// Delivers a node event to a device's stack and applies the commands it
+    /// queued. Stackless devices drop events.
+    fn deliver(&mut self, dev: DeviceId, event: NodeEvent) {
+        let Some(mut stack) = self.stacks[dev.0].take() else {
+            return;
+        };
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        cmds.clear();
+        {
+            let mut api = NodeApi { device: dev, now: self.now, commands: &mut cmds };
+            stack.on_event(event, &mut api);
+        }
+        self.stacks[dev.0] = Some(stack);
+        let drained: Vec<_> = std::mem::take(&mut cmds);
+        self.cmd_buf = cmds;
+        for (d, cmd) in drained {
+            self.apply(d, cmd);
+        }
+    }
+
+    fn resched_boundary(&mut self) {
+        self.medium.boundary_gen += 1;
+        if let Some(at) = self.medium.next_boundary() {
+            let gen = self.medium.boundary_gen;
+            let delay = at.saturating_since(self.now);
+            self.schedule(delay, Engine::FlowBoundary { gen });
+        }
+    }
+
+    /// Synchronizes a device's flow-related energy states with the medium.
+    /// During an active flow a device drives both data and ACK traffic, so
+    /// both send and receive draws apply (see DESIGN.md calibration).
+    fn sync_flow_energy(&mut self, dev: DeviceId) {
+        let active =
+            self.medium.device_active(dev, true) || self.medium.device_active(dev, false);
+        let tx_held = self.energy.is_active(dev, EnergyState::WifiTx);
+        if active && !tx_held {
+            self.energy.enter(dev, self.now, EnergyState::WifiTx, self.cfg.energy.wifi_tx_ma);
+            self.energy.enter(dev, self.now, EnergyState::WifiRx, self.cfg.energy.wifi_rx_ma);
+        } else if !active && tx_held {
+            self.energy.leave(dev, self.now, EnergyState::WifiTx);
+            self.energy.leave(dev, self.now, EnergyState::WifiRx);
+        }
+    }
+
+    /// Handles completed flows: notifies endpoints and starts the next
+    /// pending message per connection direction.
+    fn finish_flows(&mut self, done: Vec<Flow>) {
+        let mut notifications = Vec::new();
+        for flow in done {
+            let conn = &mut self.conns[flow.conn.0 as usize];
+            let dir = conn.dir_from(flow.sender).expect("flow sender is an endpoint");
+            conn.active[dir] = false;
+            notifications.push((flow.sender, NodeEvent::TcpSendComplete { conn: flow.conn }));
+            notifications
+                .push((flow.receiver, NodeEvent::TcpMessage { conn: flow.conn, payload: flow.payload }));
+            if let Some((payload, wire)) = self.conns[flow.conn.0 as usize].pending[dir].pop_front()
+            {
+                self.conns[flow.conn.0 as usize].active[dir] = true;
+                self.medium.add_flow(Flow {
+                    conn: flow.conn,
+                    sender: flow.sender,
+                    receiver: flow.receiver,
+                    payload,
+                    remaining: wire,
+                });
+            }
+            self.sync_flow_energy(flow.sender);
+            self.sync_flow_energy(flow.receiver);
+        }
+        self.resched_boundary();
+        for (dev, ev) in notifications {
+            self.deliver(dev, ev);
+        }
+    }
+
+    /// Closes a connection, failing in-flight and pending messages.
+    fn close_conn(&mut self, conn_id: ConnId, error: bool, notify_both: bool) {
+        let (a, b, was_open) = {
+            let c = &mut self.conns[conn_id.0 as usize];
+            let was_open = c.open;
+            c.open = false;
+            c.pending[0].clear();
+            c.pending[1].clear();
+            c.active = [false, false];
+            (c.a, c.b, was_open)
+        };
+        if !was_open {
+            return;
+        }
+        let _ = self.medium.advance(self.now);
+        let _removed = self.medium.remove_conn(conn_id);
+        self.resched_boundary();
+        self.sync_flow_energy(a);
+        self.sync_flow_energy(b);
+        if notify_both {
+            self.deliver(a, NodeEvent::TcpClosed { conn: conn_id, error });
+        }
+        self.deliver(b, NodeEvent::TcpClosed { conn: conn_id, error });
+    }
+
+    /// Fails every open connection involving `dev` that is no longer viable.
+    fn audit_connections(&mut self, dev: DeviceId, force_all: bool) {
+        let range = self.cfg.wifi.range_m;
+        let to_fail: Vec<ConnId> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.open && c.involves(dev))
+            .filter(|(_, c)| {
+                force_all
+                    || !self.world.in_range(c.a, c.b, range)
+                    || !self.devices[c.a.0].wifi_on
+                    || !self.devices[c.b.0].wifi_on
+            })
+            .map(|(i, _)| ConnId(i as u64))
+            .collect();
+        for id in to_fail {
+            self.close_conn(id, true, true);
+        }
+    }
+
+    fn wifi_power_off(&mut self, dev: DeviceId) {
+        let d = &mut self.devices[dev.0];
+        if !d.wifi_on {
+            return;
+        }
+        d.wifi_on = false;
+        d.wifi_joined = false;
+        d.wifi_mcast_listen = false;
+        d.wifi_scan_gen += 1;
+        d.wifi_join_gen += 1;
+        d.infra_gen += 1;
+        d.infra_queue.clear();
+        let had_infra = d.infra_active.take().is_some();
+        let was_scanning = std::mem::take(&mut d.wifi_scanning);
+        let was_joining = std::mem::take(&mut d.wifi_joining);
+        self.energy.leave(dev, self.now, EnergyState::WifiOn);
+        if was_scanning {
+            self.energy.leave(dev, self.now, EnergyState::WifiScan);
+        }
+        if was_joining {
+            self.energy.leave(dev, self.now, EnergyState::WifiConnect);
+        }
+        if had_infra {
+            self.energy.leave(dev, self.now, EnergyState::InfraRx);
+        }
+        let _ = self.medium.advance(self.now);
+        if self.medium.cancel_mcast_for(dev) {
+            self.energy.leave(dev, self.now, EnergyState::McastTx);
+        }
+        self.audit_connections(dev, true);
+    }
+
+    fn apply(&mut self, dev: DeviceId, cmd: Command) {
+        match cmd {
+            Command::SetTimer { token, delay } => {
+                let gen = self.timer_gens.entry((dev.0, token)).or_insert(0);
+                *gen += 1;
+                let gen = *gen;
+                self.schedule(delay, Engine::Timer { dev, token, gen });
+            }
+            Command::CancelTimer { token } => {
+                *self.timer_gens.entry((dev.0, token)).or_insert(0) += 1;
+            }
+            Command::Trace(msg) => self.trace.record(self.now, dev, msg),
+            Command::BlePower(on) => self.ble_power(dev, on),
+            Command::BleSetScan { duty } => self.ble_set_scan(dev, duty),
+            Command::BleAdvertiseSet { slot, payload, interval } => {
+                self.ble_advertise_set(dev, slot, payload, interval)
+            }
+            Command::BleAdvertiseStop { slot } => {
+                if let Some(s) = self.devices[dev.0].ble_slots.get_mut(&slot) {
+                    s.gen += 1;
+                }
+                self.devices[dev.0].ble_slots.remove(&slot);
+            }
+            Command::BleSendOneShot { payload } => self.ble_send_oneshot(dev, payload),
+            Command::WifiPower(on) => {
+                if on {
+                    let d = &mut self.devices[dev.0];
+                    if d.caps.wifi && !d.wifi_on {
+                        d.wifi_on = true;
+                        self.energy.enter(
+                            dev,
+                            self.now,
+                            EnergyState::WifiOn,
+                            self.cfg.energy.wifi_standby_ma,
+                        );
+                    }
+                } else {
+                    self.wifi_power_off(dev);
+                }
+            }
+            Command::WifiScan => self.wifi_scan(dev),
+            Command::WifiJoin => self.wifi_join(dev),
+            Command::WifiLeave => {
+                let d = &mut self.devices[dev.0];
+                d.wifi_joined = false;
+                d.wifi_mcast_listen = false;
+            }
+            Command::WifiMcastListen(on) => {
+                let d = &mut self.devices[dev.0];
+                if on && !(d.wifi_on && d.wifi_joined) {
+                    self.trace.record(self.now, dev, "mcast-listen ignored: not joined");
+                } else {
+                    d.wifi_mcast_listen = on;
+                }
+            }
+            Command::WifiMcastSend { payload, wire_len, bulk } => {
+                self.mcast_send(dev, payload, wire_len, bulk)
+            }
+            Command::TcpConnect { token, peer } => self.tcp_connect(dev, token, peer),
+            Command::TcpSend { conn, payload, wire_len } => {
+                self.tcp_send(dev, conn, payload, wire_len)
+            }
+            Command::TcpClose { conn } => {
+                let valid = (conn.0 as usize) < self.conns.len()
+                    && self.conns[conn.0 as usize].involves(dev)
+                    && self.conns[conn.0 as usize].open;
+                if valid {
+                    self.close_conn_from(conn, dev);
+                }
+            }
+            Command::NfcSend { payload } => self.nfc_send(dev, payload),
+            Command::InfraRequest { req, total_bytes, chunk_bytes } => {
+                self.infra_request(dev, req, total_bytes, chunk_bytes)
+            }
+            Command::InfraCancel { req } => self.infra_cancel(dev, req),
+        }
+    }
+
+    fn close_conn_from(&mut self, conn_id: ConnId, closer: DeviceId) {
+        let remote = {
+            let c = &mut self.conns[conn_id.0 as usize];
+            if !c.open {
+                return;
+            }
+            c.open = false;
+            c.pending[0].clear();
+            c.pending[1].clear();
+            c.active = [false, false];
+            if c.a == closer {
+                c.b
+            } else {
+                c.a
+            }
+        };
+        let _ = self.medium.advance(self.now);
+        let _ = self.medium.remove_conn(conn_id);
+        self.resched_boundary();
+        self.sync_flow_energy(closer);
+        self.sync_flow_energy(remote);
+        self.deliver(remote, NodeEvent::TcpClosed { conn: conn_id, error: false });
+    }
+
+    fn ble_power(&mut self, dev: DeviceId, on: bool) {
+        let d = &mut self.devices[dev.0];
+        if !d.caps.ble {
+            return;
+        }
+        if on {
+            d.ble_on = true;
+        } else {
+            d.ble_on = false;
+            for s in d.ble_slots.values_mut() {
+                s.gen += 1;
+            }
+            d.ble_slots.clear();
+            if d.ble_scan_duty.take().is_some() {
+                self.energy.leave(dev, self.now, EnergyState::BleScan);
+            }
+        }
+    }
+
+    fn ble_set_scan(&mut self, dev: DeviceId, duty: Option<f64>) {
+        let d = &mut self.devices[dev.0];
+        if !d.ble_on {
+            if duty.is_some() {
+                self.trace.record(self.now, dev, "ble scan ignored: radio off");
+            }
+            return;
+        }
+        if d.ble_scan_duty.take().is_some() {
+            self.energy.leave(dev, self.now, EnergyState::BleScan);
+        }
+        if let Some(duty) = duty {
+            assert!(duty > 0.0 && duty <= 1.0, "scan duty must be in (0, 1]");
+            self.devices[dev.0].ble_scan_duty = Some(duty);
+            let ma = self.cfg.energy.ble_scan_ma * duty;
+            self.energy.enter(dev, self.now, EnergyState::BleScan, ma);
+        }
+    }
+
+    fn ble_advertise_set(&mut self, dev: DeviceId, slot: u32, payload: Bytes, interval: SimDuration) {
+        if payload.len() > self.cfg.ble.max_payload {
+            self.trace.record(
+                self.now,
+                dev,
+                format!("ble advert dropped: {} > {} bytes", payload.len(), self.cfg.ble.max_payload),
+            );
+            return;
+        }
+        assert!(!interval.is_zero(), "advertising interval must be positive");
+        let d = &mut self.devices[dev.0];
+        if !d.ble_on {
+            self.trace.record(self.now, dev, "ble advert ignored: radio off");
+            return;
+        }
+        let gen = d.ble_slots.get(&slot).map(|s| s.gen + 1).unwrap_or(1);
+        d.ble_slots.insert(slot, BleSlot { payload, interval, gen });
+        // First pulse after a seeded jitter within one interval so devices
+        // don't synchronize artificially.
+        let jitter = SimDuration::from_micros(self.rng.gen_range(0..interval.as_micros().max(1)));
+        self.schedule(jitter, Engine::BleAdv { dev, slot, gen });
+    }
+
+    fn ble_send_oneshot(&mut self, dev: DeviceId, payload: Bytes) {
+        if payload.len() > self.cfg.ble.max_payload {
+            self.trace.record(self.now, dev, "ble oneshot dropped: payload too large");
+            return;
+        }
+        let d = &self.devices[dev.0];
+        if !d.ble_on {
+            self.trace.record(self.now, dev, "ble oneshot ignored: radio off");
+            return;
+        }
+        self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.oneshot_pulse);
+        let latency = self.cfg.ble.oneshot_latency;
+        let recipients: Vec<DeviceId> = self
+            .world
+            .neighbors(dev, self.cfg.ble.range_m)
+            .filter(|&n| self.devices[n.0].ble_on && self.devices[n.0].ble_scan_duty.is_some())
+            .collect();
+        for to in recipients {
+            self.schedule(latency, Engine::BleOneShotDeliver { to, from: dev, payload: payload.clone() });
+        }
+        self.schedule(latency, Engine::BleOneShotSent { dev });
+    }
+
+    fn wifi_scan(&mut self, dev: DeviceId) {
+        if !self.devices[dev.0].wifi_on {
+            let gen = self.devices[dev.0].wifi_scan_gen;
+            self.schedule(SimDuration::ZERO, Engine::WifiScanDone { dev, gen });
+            return;
+        }
+        let d = &mut self.devices[dev.0];
+        if d.wifi_scanning {
+            self.trace.record(self.now, dev, "wifi scan ignored: already scanning");
+            return;
+        }
+        d.wifi_scanning = true;
+        d.wifi_scan_gen += 1;
+        let gen = d.wifi_scan_gen;
+        self.energy.enter(dev, self.now, EnergyState::WifiScan, self.cfg.energy.wifi_scan_ma);
+        self.schedule(self.cfg.wifi.scan_time, Engine::WifiScanDone { dev, gen });
+    }
+
+    fn wifi_join(&mut self, dev: DeviceId) {
+        let d = &mut self.devices[dev.0];
+        if !d.wifi_on {
+            self.trace.record(self.now, dev, "wifi join ignored: radio off");
+            return;
+        }
+        if d.wifi_joined {
+            // Idempotent: confirm immediately so join-driven state machines
+            // make progress regardless of who joined first.
+            self.schedule(SimDuration::ZERO, Engine::WifiJoinEcho { dev });
+            return;
+        }
+        if d.wifi_joining {
+            self.trace.record(self.now, dev, "wifi join ignored: join in progress");
+            return;
+        }
+        d.wifi_joining = true;
+        d.wifi_join_gen += 1;
+        let gen = d.wifi_join_gen;
+        self.energy.enter(dev, self.now, EnergyState::WifiConnect, self.cfg.energy.wifi_connect_ma);
+        self.schedule(self.cfg.wifi.join_time, Engine::WifiJoinDone { dev, gen });
+    }
+
+    fn mcast_send(&mut self, dev: DeviceId, payload: Bytes, wire_len: u64, bulk: bool) {
+        let d = &self.devices[dev.0];
+        if !(d.wifi_on && d.wifi_joined) {
+            self.trace.record(self.now, dev, "mcast send dropped: not joined");
+            return;
+        }
+        let airtime = self.cfg.wifi.mcast_fixed_airtime
+            + SimDuration::from_secs_f64(wire_len as f64 / self.cfg.wifi.mcast_rate_bps);
+        let _ = self.medium.advance(self.now);
+        let job = McastJob { sender: dev, payload, airtime, bulk };
+        if let Some(started) = self.medium.enqueue_mcast(job) {
+            self.start_mcast(started);
+        }
+        self.resched_boundary();
+    }
+
+    fn start_mcast(&mut self, job: McastJob) {
+        let ma = if job.bulk {
+            self.cfg.energy.wifi_mcast_bulk_tx_ma
+        } else {
+            self.cfg.energy.wifi_tx_ma
+        };
+        self.energy.enter(job.sender, self.now, EnergyState::McastTx, ma);
+        let gen = self.medium.mcast_gen;
+        self.schedule(job.airtime, Engine::McastDone { gen });
+    }
+
+    fn tcp_connect(&mut self, dev: DeviceId, token: u64, peer: MeshAddress) {
+        if !self.devices[dev.0].wifi_on {
+            self.schedule(
+                SimDuration::ZERO,
+                Engine::TcpConnectFail { dev, token, error: TcpError::RadioOff },
+            );
+            return;
+        }
+        let target = self.mesh_index.get(&peer).copied();
+        let ok = target.map(|t| {
+            t != dev && self.devices[t.0].wifi_on && self.world.in_range(dev, t, self.cfg.wifi.range_m)
+        });
+        match (target, ok) {
+            (Some(t), Some(true)) => {
+                self.schedule(
+                    self.cfg.wifi.tcp_connect_time,
+                    Engine::TcpConnectDone { initiator: dev, token, target: t },
+                );
+            }
+            (Some(t), _) if !self.devices[t.0].wifi_on => {
+                self.schedule(
+                    SimDuration::ZERO,
+                    Engine::TcpConnectFail { dev, token, error: TcpError::RadioOff },
+                );
+            }
+            _ => {
+                self.schedule(
+                    SimDuration::ZERO,
+                    Engine::TcpConnectFail { dev, token, error: TcpError::Unreachable },
+                );
+            }
+        }
+    }
+
+    fn tcp_send(&mut self, dev: DeviceId, conn_id: ConnId, payload: Bytes, wire_len: u64) {
+        let idx = conn_id.0 as usize;
+        if idx >= self.conns.len() || !self.conns[idx].open {
+            self.trace.record(self.now, dev, "tcp send dropped: connection closed");
+            return;
+        }
+        let Some(dir) = self.conns[idx].dir_from(dev) else {
+            self.trace.record(self.now, dev, "tcp send dropped: not an endpoint");
+            return;
+        };
+        let wire = (wire_len + self.cfg.wifi.tcp_overhead_bytes) as f64;
+        if self.conns[idx].active[dir] {
+            self.conns[idx].pending[dir].push_back((payload, wire));
+            return;
+        }
+        let (sender, receiver) = self.conns[idx].endpoint(dir);
+        self.conns[idx].active[dir] = true;
+        let _ = self.medium.advance(self.now);
+        self.medium.add_flow(Flow { conn: conn_id, sender, receiver, payload, remaining: wire });
+        self.resched_boundary();
+        self.sync_flow_energy(sender);
+        self.sync_flow_energy(receiver);
+    }
+
+    fn nfc_send(&mut self, dev: DeviceId, payload: Bytes) {
+        if payload.len() > self.cfg.nfc.max_payload {
+            self.trace.record(self.now, dev, "nfc send dropped: payload too large");
+            return;
+        }
+        if !self.devices[dev.0].caps.nfc {
+            self.trace.record(self.now, dev, "nfc send ignored: no nfc hardware");
+            return;
+        }
+        let recipients: Vec<DeviceId> = self
+            .world
+            .neighbors(dev, self.cfg.nfc.range_m)
+            .filter(|&n| self.devices[n.0].caps.nfc)
+            .collect();
+        for to in recipients {
+            self.schedule(
+                self.cfg.nfc.touch_latency,
+                Engine::NfcDeliver { to, from: dev, payload: payload.clone() },
+            );
+        }
+    }
+
+    fn infra_request(&mut self, dev: DeviceId, req: u64, total: u64, chunk: u64) {
+        assert!(chunk > 0, "chunk size must be positive");
+        assert!(total > 0, "request must be non-empty");
+        let d = &mut self.devices[dev.0];
+        if !d.wifi_on {
+            self.trace.record(self.now, dev, "infra request dropped: wifi off");
+            return;
+        }
+        if d.infra_rate_bps <= 0.0 {
+            self.trace.record(self.now, dev, "infra request dropped: no infrastructure link");
+            return;
+        }
+        if d.infra_active.is_some() {
+            d.infra_queue.push_back((req, total, chunk));
+            return;
+        }
+        self.infra_start(dev, req, total, chunk);
+    }
+
+    fn infra_start(&mut self, dev: DeviceId, req: u64, total: u64, chunk: u64) {
+        let d = &mut self.devices[dev.0];
+        d.infra_active =
+            Some(ActiveInfra { req, total, chunk, received: 0, next_chunk_index: 0 });
+        d.infra_gen += 1;
+        let gen = d.infra_gen;
+        let first = chunk.min(total);
+        let delay = SimDuration::from_secs_f64(first as f64 / d.infra_rate_bps);
+        self.energy.enter(dev, self.now, EnergyState::InfraRx, self.cfg.energy.wifi_infra_rx_ma);
+        self.schedule(delay, Engine::InfraChunkDone { dev, gen });
+    }
+
+    fn infra_cancel(&mut self, dev: DeviceId, req: u64) {
+        let d = &mut self.devices[dev.0];
+        d.infra_queue.retain(|(r, _, _)| *r != req);
+        if d.infra_active.as_ref().map(|a| a.req == req).unwrap_or(false) {
+            d.infra_active = None;
+            d.infra_gen += 1;
+            self.energy.leave(dev, self.now, EnergyState::InfraRx);
+            if let Some((req, total, chunk)) = self.devices[dev.0].infra_queue.pop_front() {
+                // Re-enter for the next request.
+                self.infra_start(dev, req, total, chunk);
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Engine) {
+        match ev {
+            Engine::StartStack { dev } => self.deliver(dev, NodeEvent::Start),
+            Engine::Timer { dev, token, gen } => {
+                if self.timer_gens.get(&(dev.0, token)) == Some(&gen) {
+                    self.deliver(dev, NodeEvent::Timer { token });
+                }
+            }
+            Engine::BleAdv { dev, slot, gen } => self.ble_adv_tick(dev, slot, gen),
+            Engine::BleOneShotDeliver { to, from, payload } => {
+                let d = &self.devices[to.0];
+                if d.ble_on && d.ble_scan_duty.is_some() {
+                    let from_addr = self.devices[from.0].ble_addr;
+                    self.deliver(to, NodeEvent::BleOneShot { from: from_addr, payload });
+                }
+            }
+            Engine::BleOneShotSent { dev } => self.deliver(dev, NodeEvent::BleOneShotSent),
+            Engine::WifiScanDone { dev, gen } => {
+                if self.devices[dev.0].wifi_scan_gen != gen || !self.devices[dev.0].wifi_scanning {
+                    // Stale (power-cycled) or synthetic immediate failure.
+                    if self.devices[dev.0].wifi_scan_gen == gen {
+                        self.deliver(dev, NodeEvent::WifiScanDone { found: Vec::new() });
+                    }
+                    return;
+                }
+                self.devices[dev.0].wifi_scanning = false;
+                self.energy.leave(dev, self.now, EnergyState::WifiScan);
+                let found: Vec<MeshAddress> = self
+                    .world
+                    .neighbors(dev, self.cfg.wifi.range_m)
+                    .filter(|&n| self.devices[n.0].wifi_on)
+                    .map(|n| self.devices[n.0].mesh_addr)
+                    .collect();
+                self.deliver(dev, NodeEvent::WifiScanDone { found });
+            }
+            Engine::WifiJoinEcho { dev } => {
+                if self.devices[dev.0].wifi_joined {
+                    self.deliver(dev, NodeEvent::WifiJoined { ok: true });
+                }
+            }
+            Engine::WifiJoinDone { dev, gen } => {
+                if self.devices[dev.0].wifi_join_gen != gen || !self.devices[dev.0].wifi_joining {
+                    return;
+                }
+                let d = &mut self.devices[dev.0];
+                d.wifi_joining = false;
+                d.wifi_joined = true;
+                self.energy.leave(dev, self.now, EnergyState::WifiConnect);
+                self.deliver(dev, NodeEvent::WifiJoined { ok: true });
+            }
+            Engine::TcpConnectDone { initiator, token, target } => {
+                let viable = self.devices[initiator.0].wifi_on
+                    && self.devices[target.0].wifi_on
+                    && self.world.in_range(initiator, target, self.cfg.wifi.range_m);
+                if !viable {
+                    self.deliver(
+                        initiator,
+                        NodeEvent::TcpConnectResult { token, result: Err(TcpError::Unreachable) },
+                    );
+                    return;
+                }
+                let id = ConnId(self.conns.len() as u64);
+                self.conns.push(Connection {
+                    a: initiator,
+                    b: target,
+                    open: true,
+                    pending: [VecDeque::new(), VecDeque::new()],
+                    active: [false, false],
+                });
+                let from = self.devices[initiator.0].mesh_addr;
+                self.deliver(initiator, NodeEvent::TcpConnectResult { token, result: Ok(id) });
+                self.deliver(target, NodeEvent::TcpIncoming { conn: id, from });
+            }
+            Engine::TcpConnectFail { dev, token, error } => {
+                self.deliver(dev, NodeEvent::TcpConnectResult { token, result: Err(error) });
+            }
+            Engine::FlowBoundary { gen } => {
+                if gen != self.medium.boundary_gen {
+                    return;
+                }
+                let done = self.medium.advance(self.now);
+                self.finish_flows(done);
+            }
+            Engine::McastDone { gen } => self.mcast_done(gen),
+            Engine::NfcDeliver { to, from, payload } => {
+                if self.world.in_range(to, from, self.cfg.nfc.range_m) {
+                    let from_addr = self.devices[from.0].nfc_addr;
+                    self.deliver(to, NodeEvent::NfcReceived { from: from_addr, payload });
+                }
+            }
+            Engine::InfraChunkDone { dev, gen } => self.infra_chunk_done(dev, gen),
+            Engine::Teleport { dev, pos } => {
+                self.world.set_position(dev, pos);
+                self.audit_connections(dev, false);
+            }
+            Engine::WalkStep { dev, to, speed_mps } => {
+                let cur = self.world.position(dev);
+                let remaining = cur.distance(to);
+                if remaining <= speed_mps {
+                    // Arrive within this step.
+                    self.world.set_position(dev, to);
+                } else {
+                    let frac = speed_mps / remaining;
+                    let next = Position::new(
+                        cur.x + (to.x - cur.x) * frac,
+                        cur.y + (to.y - cur.y) * frac,
+                    );
+                    self.world.set_position(dev, next);
+                    self.schedule(
+                        SimDuration::from_secs(1),
+                        Engine::WalkStep { dev, to, speed_mps },
+                    );
+                }
+                self.audit_connections(dev, false);
+            }
+        }
+    }
+
+    fn ble_adv_tick(&mut self, dev: DeviceId, slot: u32, gen: u64) {
+        let (payload, interval) = {
+            let d = &self.devices[dev.0];
+            if !d.ble_on {
+                return;
+            }
+            match d.ble_slots.get(&slot) {
+                Some(s) if s.gen == gen => (s.payload.clone(), s.interval),
+                _ => return,
+            }
+        };
+        self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.adv_pulse);
+        let from = self.devices[dev.0].ble_addr;
+        let candidates: Vec<(DeviceId, f64)> = self
+            .world
+            .neighbors(dev, self.cfg.ble.range_m)
+            .filter_map(|n| {
+                let d = &self.devices[n.0];
+                match (d.ble_on, d.ble_scan_duty) {
+                    (true, Some(duty)) => Some((n, duty)),
+                    _ => None,
+                }
+            })
+            .collect();
+        self.schedule(interval, Engine::BleAdv { dev, slot, gen });
+        for (to, duty) in candidates {
+            // A duty-cycled scanner only catches the beacon when its scan
+            // window overlaps the advertising event.
+            if duty >= 1.0 || self.rng.gen_bool(duty) {
+                self.deliver(to, NodeEvent::BleBeacon { from, payload: payload.clone() });
+            }
+        }
+    }
+
+    fn mcast_done(&mut self, gen: u64) {
+        if gen != self.medium.mcast_gen || self.medium.mcast_active.is_none() {
+            return;
+        }
+        let _ = self.medium.advance(self.now);
+        let (finished, next) = self.medium.finish_mcast();
+        let Some(job) = finished else {
+            return;
+        };
+        self.energy.leave(job.sender, self.now, EnergyState::McastTx);
+        if let Some(next_job) = next {
+            self.start_mcast(next_job);
+        }
+        self.resched_boundary();
+        let sender_on = self.devices[job.sender.0].wifi_on;
+        if sender_on {
+            self.deliver(job.sender, NodeEvent::McastSendComplete);
+        }
+        let sender_state = &self.devices[job.sender.0];
+        if sender_state.wifi_on {
+            let from = sender_state.mesh_addr;
+            let recipients: Vec<DeviceId> = self
+                .world
+                .neighbors(job.sender, self.cfg.wifi.range_m)
+                .filter(|&n| {
+                    let d = &self.devices[n.0];
+                    d.wifi_on && d.wifi_joined && d.wifi_mcast_listen
+                })
+                .collect();
+            for to in recipients {
+                self.deliver(to, NodeEvent::Multicast { from, payload: job.payload.clone() });
+            }
+        }
+    }
+
+    fn infra_chunk_done(&mut self, dev: DeviceId, gen: u64) {
+        let (req, chunk_index, received, done) = {
+            let d = &mut self.devices[dev.0];
+            if d.infra_gen != gen {
+                return;
+            }
+            let Some(active) = d.infra_active.as_mut() else {
+                return;
+            };
+            let this_chunk = active.chunk.min(active.total - active.received);
+            active.received += this_chunk;
+            let idx = active.next_chunk_index;
+            active.next_chunk_index += 1;
+            (active.req, idx, active.received, active.received >= active.total)
+        };
+        if done {
+            let d = &mut self.devices[dev.0];
+            d.infra_active = None;
+            d.infra_gen += 1;
+            self.energy.leave(dev, self.now, EnergyState::InfraRx);
+            if let Some((nreq, ntotal, nchunk)) = self.devices[dev.0].infra_queue.pop_front() {
+                self.infra_start(dev, nreq, ntotal, nchunk);
+            }
+        } else {
+            let d = &self.devices[dev.0];
+            let active = d.infra_active.as_ref().expect("active request");
+            let next = active.chunk.min(active.total - active.received);
+            let delay = SimDuration::from_secs_f64(next as f64 / d.infra_rate_bps);
+            self.schedule(delay, Engine::InfraChunkDone { dev, gen });
+        }
+        self.deliver(dev, NodeEvent::InfraChunk { req, chunk: chunk_index, received_bytes: received, done });
+    }
+}

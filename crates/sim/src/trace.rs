@@ -1,0 +1,114 @@
+//! Simulation trace buffer.
+//!
+//! Stacks and the engine record human-readable lines; tests assert on them
+//! and experiment harnesses can dump them for debugging. The buffer is
+//! bounded so long runs cannot exhaust memory.
+
+use crate::time::SimTime;
+use crate::DeviceId;
+
+/// One recorded line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// When the line was recorded.
+    pub at: SimTime,
+    /// The device it concerns (engine-global lines use the originating
+    /// device).
+    pub device: DeviceId,
+    /// The message.
+    pub message: String,
+}
+
+/// Bounded in-memory trace.
+#[derive(Debug)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace { entries: Vec::new(), capacity: 100_000, dropped: 0, enabled: true }
+    }
+}
+
+impl Trace {
+    /// Creates a trace with the default capacity (100 000 lines).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables recording (disabled recording is free).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records a line.
+    pub fn record(&mut self, at: SimTime, device: DeviceId, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.entries.push(TraceEntry { at, device, message: message.into() });
+    }
+
+    /// All recorded lines, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Lines recorded for one device.
+    pub fn for_device(&self, device: DeviceId) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.device == device)
+    }
+
+    /// Whether any line contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.entries.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Number of lines dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_millis(1), DeviceId(0), "alpha");
+        t.record(SimTime::from_millis(2), DeviceId(1), "beta");
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.for_device(DeviceId(1)).count(), 1);
+        assert!(t.contains("alp"));
+        assert!(!t.contains("gamma"));
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped_silently() {
+        let mut t = Trace::new();
+        t.set_enabled(false);
+        t.record(SimTime::ZERO, DeviceId(0), "x");
+        assert!(t.entries().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let mut t = Trace { capacity: 2, ..Trace::new() };
+        for i in 0..5 {
+            t.record(SimTime::ZERO, DeviceId(0), format!("{i}"));
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+}

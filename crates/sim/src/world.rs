@@ -1,0 +1,134 @@
+//! Physical placement of devices.
+//!
+//! Encounter dynamics (who can hear whom, on which radio) are a function of
+//! distance and the per-technology ranges in [`crate::SimConfig`]. Scenarios
+//! move devices either instantaneously (teleport, scheduled through the
+//! runner) or not at all; the DTN experiments only need "in range" /
+//! "out of range" phases, which teleports reproduce exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceId;
+
+/// A position in meters on a 2-D plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Builds a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Device placements.
+#[derive(Debug, Default, Clone)]
+pub struct World {
+    positions: Vec<Position>,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_device(&mut self, pos: Position) {
+        self.positions.push(pos);
+    }
+
+    /// Current position of a device.
+    pub fn position(&self, id: DeviceId) -> Position {
+        self.positions[id.0]
+    }
+
+    /// Moves a device instantaneously.
+    pub fn set_position(&mut self, id: DeviceId, pos: Position) {
+        self.positions[id.0] = pos;
+    }
+
+    /// Distance between two devices in meters.
+    pub fn distance(&self, a: DeviceId, b: DeviceId) -> f64 {
+        self.positions[a.0].distance(self.positions[b.0])
+    }
+
+    /// Whether two distinct devices are within `range_m` of each other.
+    /// A device is never in range of itself.
+    pub fn in_range(&self, a: DeviceId, b: DeviceId, range_m: f64) -> bool {
+        a != b && self.distance(a, b) <= range_m
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the world has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Iterates over device ids within `range_m` of `of` (excluding `of`).
+    pub fn neighbors(&self, of: DeviceId, range_m: f64) -> impl Iterator<Item = DeviceId> + '_ {
+        let n = self.positions.len();
+        (0..n).map(DeviceId).filter(move |&d| self.in_range(of, d, range_m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(poss: &[(f64, f64)]) -> World {
+        let mut w = World::new();
+        for &(x, y) in poss {
+            w.add_device(Position::new(x, y));
+        }
+        w
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let w = world(&[(0.0, 0.0), (3.0, 4.0)]);
+        assert!((w.distance(DeviceId(0), DeviceId(1)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_range_respects_radius_inclusively() {
+        let w = world(&[(0.0, 0.0), (30.0, 0.0)]);
+        assert!(w.in_range(DeviceId(0), DeviceId(1), 30.0));
+        assert!(!w.in_range(DeviceId(0), DeviceId(1), 29.999));
+    }
+
+    #[test]
+    fn never_in_range_of_self() {
+        let w = world(&[(0.0, 0.0)]);
+        assert!(!w.in_range(DeviceId(0), DeviceId(0), 1000.0));
+    }
+
+    #[test]
+    fn teleport_changes_neighborhood() {
+        let mut w = world(&[(0.0, 0.0), (1000.0, 0.0)]);
+        assert_eq!(w.neighbors(DeviceId(0), 50.0).count(), 0);
+        w.set_position(DeviceId(1), Position::new(10.0, 0.0));
+        let n: Vec<_> = w.neighbors(DeviceId(0), 50.0).collect();
+        assert_eq!(n, vec![DeviceId(1)]);
+    }
+
+    #[test]
+    fn neighbors_excludes_out_of_range() {
+        let w = world(&[(0.0, 0.0), (10.0, 0.0), (200.0, 0.0)]);
+        let n: Vec<_> = w.neighbors(DeviceId(0), 100.0).collect();
+        assert_eq!(n, vec![DeviceId(1)]);
+    }
+}

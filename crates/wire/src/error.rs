@@ -1,0 +1,75 @@
+//! Error type for wire encoding and decoding.
+
+use core::fmt;
+
+/// Errors produced while decoding an `omni_packed_struct` or one of its
+/// payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer was shorter than the fixed header (1 kind byte + 8 address
+    /// bytes).
+    Truncated {
+        /// Bytes required for the attempted read.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The kind byte did not name a known [`crate::ContentKind`].
+    UnknownKind(u8),
+    /// An address beacon payload had the wrong length (must be exactly
+    /// [`crate::ADDRESS_BEACON_PAYLOAD_LEN`] bytes).
+    BadBeaconLength(usize),
+    /// A payload exceeded the maximum the carrying technology supports.
+    PayloadTooLarge {
+        /// Actual payload length in bytes.
+        len: usize,
+        /// Technology limit in bytes.
+        max: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated packed struct: needed {needed} bytes, got {got}")
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown content kind byte {k:#04x}"),
+            WireError::BadBeaconLength(len) => {
+                write!(f, "address beacon payload must be 14 bytes, got {len}")
+            }
+            WireError::PayloadTooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds technology limit of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            WireError::Truncated { needed: 9, got: 3 }.to_string(),
+            WireError::UnknownKind(0xff).to_string(),
+            WireError::BadBeaconLength(5).to_string(),
+            WireError::PayloadTooLarge { len: 100, max: 31 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<WireError>();
+    }
+}

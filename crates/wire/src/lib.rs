@@ -1,0 +1,55 @@
+//! Wire-level types for the Omni device-to-device middleware.
+//!
+//! This crate contains the small, dependency-light vocabulary shared by every
+//! other crate in the workspace:
+//!
+//! * [`OmniAddress`] — the unified 64-bit device identifier derived from the
+//!   hardware MAC addresses of a device's interfaces (paper §3.3, *Peer
+//!   Mapping*). Applications address peers exclusively through this value and
+//!   never see technology-specific addresses.
+//! * Low-level addresses for each D2D technology: [`BleAddress`] (6 bytes),
+//!   [`MeshAddress`] (8 bytes, WiFi-Mesh) and [`NfcAddress`].
+//! * [`PackedStruct`] — the `omni_packed_struct` of paper §3.3: one kind byte,
+//!   eight `omni_address` bytes, and a variable-length payload. The address
+//!   beacon payload ([`AddressBeaconPayload`]) is exactly 14 bytes: 8 for the
+//!   WiFi-Mesh address and 6 for the BLE address.
+//! * [`StatusCode`] and [`ResponseInfo`] — the status-callback vocabulary of
+//!   paper Table 2.
+//! * [`TechType`] — the identifiers technologies report from `enable`.
+//!
+//! # Example
+//!
+//! ```
+//! use omni_wire::{AddressBeaconPayload, BleAddress, MeshAddress, OmniAddress, PackedStruct};
+//!
+//! # fn main() -> Result<(), omni_wire::WireError> {
+//! let me = OmniAddress::from_interface_macs(&[[0x02, 0, 0, 0, 0, 0x2a]]);
+//! let beacon = AddressBeaconPayload {
+//!     mesh: Some(MeshAddress::from_u64(0xfeed)),
+//!     ble: Some(BleAddress([0x02, 0, 0, 0, 0, 0x2a])),
+//! };
+//! let packed = PackedStruct::address_beacon(me, &beacon);
+//! let bytes = packed.encode();
+//! assert_eq!(bytes.len(), 1 + 8 + 14);
+//! let decoded = PackedStruct::decode(&bytes)?;
+//! assert_eq!(decoded.source, me);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod error;
+mod kind;
+mod packed;
+mod status;
+mod tech;
+
+pub use address::{BleAddress, MeshAddress, NfcAddress, OmniAddress};
+pub use error::WireError;
+pub use kind::ContentKind;
+pub use packed::{AddressBeaconPayload, PackedStruct, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN};
+pub use status::{ResponseInfo, StatusCode};
+pub use tech::TechType;

@@ -1,0 +1,248 @@
+//! The `omni_packed_struct` codec.
+//!
+//! Paper §3.3, *The Omni Packed Struct*: "To minimize overhead, Omni tightly
+//! packs all content for transit into a sequence of bytes we call the
+//! `omni_packed_struct`. The first byte of every transmission indicates
+//! whether it is context, data, or an address beacon. ... The following eight
+//! bytes are the `omni_address`. The remainder of the structure is a
+//! variable-length payload. Currently, 14 additional bytes are needed for the
+//! address beacon: 8 for the WiFi-Mesh address and 6 for the BLE address."
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::{BleAddress, ContentKind, MeshAddress, OmniAddress, WireError};
+
+/// Fixed header length: 1 kind byte + 8 `omni_address` bytes.
+pub const HEADER_LEN: usize = 9;
+
+/// Address beacon payload length: 8 bytes WiFi-Mesh address + 6 bytes BLE
+/// address.
+pub const ADDRESS_BEACON_PAYLOAD_LEN: usize = 14;
+
+/// A decoded (or to-be-encoded) Omni transmission.
+///
+/// Every byte that crosses a D2D technology in this workspace is the encoding
+/// of one of these. Technologies stay agnostic to the contents: they only see
+/// an opaque byte string plus the low-level source address (paper §3.2, *The
+/// Receive Queue*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedStruct {
+    /// What the payload means.
+    pub kind: ContentKind,
+    /// The sender's unified address. Including it in every message lets the
+    /// receiver "refresh part of the peer mapping with each message"
+    /// (paper §3.3).
+    pub source: OmniAddress,
+    /// Variable-length application or beacon payload.
+    pub payload: Bytes,
+}
+
+impl PackedStruct {
+    /// Builds a context transmission.
+    pub fn context(source: OmniAddress, payload: impl Into<Bytes>) -> Self {
+        PackedStruct { kind: ContentKind::Context, source, payload: payload.into() }
+    }
+
+    /// Builds a data transmission.
+    pub fn data(source: OmniAddress, payload: impl Into<Bytes>) -> Self {
+        PackedStruct { kind: ContentKind::Data, source, payload: payload.into() }
+    }
+
+    /// Builds an address beacon carrying the sender's low-level addresses.
+    pub fn address_beacon(source: OmniAddress, beacon: &AddressBeaconPayload) -> Self {
+        PackedStruct {
+            kind: ContentKind::AddressBeacon,
+            source,
+            payload: beacon.encode(),
+        }
+    }
+
+    /// Total encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Encodes to the tightly packed wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u8(self.kind.as_byte());
+        buf.put_slice(&self.source.to_bytes());
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes from the wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than [`HEADER_LEN`] bytes are
+    /// present, or [`WireError::UnknownKind`] for an unrecognized kind byte.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::Truncated { needed: HEADER_LEN, got: bytes.len() });
+        }
+        let kind = ContentKind::from_byte(bytes[0])?;
+        let mut addr = [0u8; 8];
+        addr.copy_from_slice(&bytes[1..9]);
+        Ok(PackedStruct {
+            kind,
+            source: OmniAddress::from_bytes(addr),
+            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..]),
+        })
+    }
+
+    /// Decodes the payload as an address beacon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadBeaconLength`] if this is not a well-formed
+    /// 14-byte beacon payload.
+    pub fn beacon_payload(&self) -> Result<AddressBeaconPayload, WireError> {
+        AddressBeaconPayload::decode(&self.payload)
+    }
+}
+
+/// The 14-byte address beacon payload: the sender's connectable WiFi-Mesh and
+/// BLE addresses.
+///
+/// A zeroed field means "this technology is unavailable on the sender"; it is
+/// represented here as `None`. All-zero addresses are reserved for this
+/// purpose and are never assigned to simulated radios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AddressBeaconPayload {
+    /// The sender's WiFi-Mesh address, if its WiFi radio is powered.
+    pub mesh: Option<MeshAddress>,
+    /// The sender's BLE address, if its BLE radio is powered.
+    pub ble: Option<BleAddress>,
+}
+
+impl AddressBeaconPayload {
+    /// Encodes to exactly 14 bytes (8 mesh + 6 BLE), zero-filling absent
+    /// technologies.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(ADDRESS_BEACON_PAYLOAD_LEN);
+        buf.put_slice(&self.mesh.unwrap_or_default().0);
+        buf.put_slice(&self.ble.unwrap_or_default().0);
+        buf.freeze()
+    }
+
+    /// Decodes from exactly 14 bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadBeaconLength`] for any other input length.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() != ADDRESS_BEACON_PAYLOAD_LEN {
+            return Err(WireError::BadBeaconLength(bytes.len()));
+        }
+        let mut mesh = [0u8; 8];
+        mesh.copy_from_slice(&bytes[..8]);
+        let mut ble = [0u8; 6];
+        ble.copy_from_slice(&bytes[8..]);
+        let mesh = MeshAddress(mesh);
+        let ble = BleAddress(ble);
+        Ok(AddressBeaconPayload {
+            mesh: (mesh != MeshAddress::default()).then_some(mesh),
+            ble: (ble != BleAddress::default()).then_some(ble),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> OmniAddress {
+        OmniAddress::from_u64(0x0123_4567_89ab_cdef)
+    }
+
+    #[test]
+    fn context_roundtrip() {
+        let p = PackedStruct::context(addr(), &b"tour-guide:audio"[..]);
+        let decoded = PackedStruct::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+        assert_eq!(decoded.kind, ContentKind::Context);
+    }
+
+    #[test]
+    fn data_roundtrip_preserves_payload_bytes() {
+        let payload: Vec<u8> = (0..=255).collect();
+        let p = PackedStruct::data(addr(), payload.clone());
+        let decoded = PackedStruct::decode(&p.encode()).unwrap();
+        assert_eq!(&decoded.payload[..], &payload[..]);
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let p = PackedStruct::context(addr(), Bytes::new());
+        assert_eq!(p.encoded_len(), HEADER_LEN);
+        assert_eq!(PackedStruct::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn header_is_kind_then_address() {
+        let p = PackedStruct::data(addr(), &b"x"[..]);
+        let wire = p.encode();
+        assert_eq!(wire[0], ContentKind::Data.as_byte());
+        assert_eq!(&wire[1..9], &addr().to_bytes());
+        assert_eq!(&wire[9..], b"x");
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        for len in 0..HEADER_LEN {
+            let bytes = vec![0u8; len];
+            assert_eq!(
+                PackedStruct::decode(&bytes),
+                Err(WireError::Truncated { needed: HEADER_LEN, got: len })
+            );
+        }
+    }
+
+    #[test]
+    fn beacon_payload_is_exactly_fourteen_bytes() {
+        let b = AddressBeaconPayload {
+            mesh: Some(MeshAddress::from_u64(1)),
+            ble: Some(BleAddress::from_u64(2)),
+        };
+        assert_eq!(b.encode().len(), ADDRESS_BEACON_PAYLOAD_LEN);
+    }
+
+    #[test]
+    fn beacon_roundtrip() {
+        let b = AddressBeaconPayload {
+            mesh: Some(MeshAddress::from_u64(0xa1b2_c3d4)),
+            ble: Some(BleAddress([9, 8, 7, 6, 5, 4])),
+        };
+        let p = PackedStruct::address_beacon(addr(), &b);
+        assert_eq!(p.encoded_len(), HEADER_LEN + ADDRESS_BEACON_PAYLOAD_LEN);
+        let decoded = PackedStruct::decode(&p.encode()).unwrap();
+        assert_eq!(decoded.beacon_payload().unwrap(), b);
+    }
+
+    #[test]
+    fn absent_technologies_encode_as_zero_and_decode_as_none() {
+        let b = AddressBeaconPayload { mesh: None, ble: Some(BleAddress([1, 1, 1, 1, 1, 1])) };
+        let decoded = AddressBeaconPayload::decode(&b.encode()).unwrap();
+        assert_eq!(decoded.mesh, None);
+        assert_eq!(decoded.ble, b.ble);
+    }
+
+    #[test]
+    fn wrong_beacon_length_is_rejected() {
+        assert_eq!(
+            AddressBeaconPayload::decode(&[0u8; 13]),
+            Err(WireError::BadBeaconLength(13))
+        );
+        assert_eq!(
+            AddressBeaconPayload::decode(&[0u8; 15]),
+            Err(WireError::BadBeaconLength(15))
+        );
+    }
+
+    #[test]
+    fn beacon_payload_on_non_beacon_is_an_error() {
+        let p = PackedStruct::data(addr(), &b"not a beacon"[..]);
+        assert!(p.beacon_payload().is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Status-callback vocabulary (paper Table 2).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::OmniAddress;
+
+/// Response codes delivered to `status_callback(code, response_info)`
+/// (paper §3.1, Table 2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)] // variant names mirror paper Table 2 verbatim
+pub enum StatusCode {
+    AddContextSuccess,
+    AddContextFailure,
+    UpdateContextSuccess,
+    UpdateContextFailure,
+    RemoveContextSuccess,
+    RemoveContextFailure,
+    SendDataSuccess,
+    SendDataFailure,
+}
+
+impl StatusCode {
+    /// Whether this code reports a success.
+    pub const fn is_success(self) -> bool {
+        matches!(
+            self,
+            StatusCode::AddContextSuccess
+                | StatusCode::UpdateContextSuccess
+                | StatusCode::RemoveContextSuccess
+                | StatusCode::SendDataSuccess
+        )
+    }
+
+    /// Whether this code reports a failure.
+    pub const fn is_failure(self) -> bool {
+        !self.is_success()
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StatusCode::AddContextSuccess => "ADD_CONTEXT_SUCCESS",
+            StatusCode::AddContextFailure => "ADD_CONTEXT_FAILURE",
+            StatusCode::UpdateContextSuccess => "UPDATE_CONTEXT_SUCCESS",
+            StatusCode::UpdateContextFailure => "UPDATE_CONTEXT_FAILURE",
+            StatusCode::RemoveContextSuccess => "REMOVE_CONTEXT_SUCCESS",
+            StatusCode::RemoveContextFailure => "REMOVE_CONTEXT_FAILURE",
+            StatusCode::SendDataSuccess => "SEND_DATA_SUCCESS",
+            StatusCode::SendDataFailure => "SEND_DATA_FAILURE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The second status-callback argument: "for errors, `response_info` provides
+/// details regarding the error where as for successes it contains the argument
+/// passed or an identifier associated with the successful request"
+/// (paper §3.1, Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ResponseInfo {
+    /// The reference identifier of a context transmission
+    /// (`ADD/UPDATE/REMOVE_CONTEXT_SUCCESS`).
+    ContextId(u64),
+    /// A failed context operation: description plus, when known, the context
+    /// identifier (`*_CONTEXT_FAILURE`).
+    ContextFailure {
+        /// Human-readable failure description.
+        description: String,
+        /// The context id, when the failure concerns an existing context.
+        context_id: Option<u64>,
+    },
+    /// The destination a data send succeeded for (`SEND_DATA_SUCCESS`).
+    Destination(OmniAddress),
+    /// A failed data send: description plus the destination
+    /// (`SEND_DATA_FAILURE`).
+    SendFailure {
+        /// Human-readable failure description.
+        description: String,
+        /// The destination the send was addressed to.
+        destination: OmniAddress,
+    },
+}
+
+impl ResponseInfo {
+    /// Extracts the context id, if this response carries one.
+    pub fn context_id(&self) -> Option<u64> {
+        match self {
+            ResponseInfo::ContextId(id) => Some(*id),
+            ResponseInfo::ContextFailure { context_id, .. } => *context_id,
+            _ => None,
+        }
+    }
+
+    /// Extracts the destination, if this response carries one.
+    pub fn destination(&self) -> Option<OmniAddress> {
+        match self {
+            ResponseInfo::Destination(d) => Some(*d),
+            ResponseInfo::SendFailure { destination, .. } => Some(*destination),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ResponseInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResponseInfo::ContextId(id) => write!(f, "context #{id}"),
+            ResponseInfo::ContextFailure { description, context_id } => match context_id {
+                Some(id) => write!(f, "context #{id}: {description}"),
+                None => write!(f, "context: {description}"),
+            },
+            ResponseInfo::Destination(d) => write!(f, "destination {d}"),
+            ResponseInfo::SendFailure { description, destination } => {
+                write!(f, "send to {destination} failed: {description}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_and_failure_partition_the_codes() {
+        let all = [
+            StatusCode::AddContextSuccess,
+            StatusCode::AddContextFailure,
+            StatusCode::UpdateContextSuccess,
+            StatusCode::UpdateContextFailure,
+            StatusCode::RemoveContextSuccess,
+            StatusCode::RemoveContextFailure,
+            StatusCode::SendDataSuccess,
+            StatusCode::SendDataFailure,
+        ];
+        assert_eq!(all.iter().filter(|c| c.is_success()).count(), 4);
+        for c in all {
+            assert_ne!(c.is_success(), c.is_failure());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_table2_spelling() {
+        assert_eq!(StatusCode::AddContextSuccess.to_string(), "ADD_CONTEXT_SUCCESS");
+        assert_eq!(StatusCode::SendDataFailure.to_string(), "SEND_DATA_FAILURE");
+    }
+
+    #[test]
+    fn response_info_accessors() {
+        let d = OmniAddress::from_u64(7);
+        assert_eq!(ResponseInfo::ContextId(3).context_id(), Some(3));
+        assert_eq!(ResponseInfo::Destination(d).destination(), Some(d));
+        assert_eq!(ResponseInfo::Destination(d).context_id(), None);
+        let fail = ResponseInfo::SendFailure { description: "timeout".into(), destination: d };
+        assert_eq!(fail.destination(), Some(d));
+        let cfail =
+            ResponseInfo::ContextFailure { description: "no tech".into(), context_id: Some(9) };
+        assert_eq!(cfail.context_id(), Some(9));
+    }
+
+    #[test]
+    fn response_info_displays_are_nonempty() {
+        let d = OmniAddress::from_u64(7);
+        for r in [
+            ResponseInfo::ContextId(1),
+            ResponseInfo::ContextFailure { description: "x".into(), context_id: None },
+            ResponseInfo::Destination(d),
+            ResponseInfo::SendFailure { description: "x".into(), destination: d },
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

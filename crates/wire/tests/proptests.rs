@@ -1,0 +1,93 @@
+//! Property-based tests for the wire codec.
+
+use bytes::Bytes;
+use omni_wire::{
+    AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
+    WireError, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = ContentKind> {
+    prop_oneof![
+        Just(ContentKind::AddressBeacon),
+        Just(ContentKind::Context),
+        Just(ContentKind::Data),
+    ]
+}
+
+fn arb_packed() -> impl Strategy<Value = PackedStruct> {
+    (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512)).prop_map(
+        |(kind, addr, payload)| PackedStruct {
+            kind,
+            source: OmniAddress::from_u64(addr),
+            payload: Bytes::from(payload),
+        },
+    )
+}
+
+proptest! {
+    /// encode → decode is the identity for every well-formed struct.
+    #[test]
+    fn packed_roundtrip(p in arb_packed()) {
+        let decoded = PackedStruct::decode(&p.encode()).unwrap();
+        prop_assert_eq!(decoded, p);
+    }
+
+    /// Encoded length is always header + payload, with no padding.
+    #[test]
+    fn encoded_len_is_exact(p in arb_packed()) {
+        prop_assert_eq!(p.encode().len(), HEADER_LEN + p.payload.len());
+        prop_assert_eq!(p.encoded_len(), p.encode().len());
+    }
+
+    /// Decoding arbitrary bytes never panics; it either succeeds or reports a
+    /// structured error.
+    #[test]
+    fn decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        match PackedStruct::decode(&bytes) {
+            Ok(p) => {
+                // Re-encoding a successful decode reproduces the input.
+                let reencoded = p.encode();
+                prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+            }
+            Err(WireError::Truncated { got, .. }) => prop_assert!(got < HEADER_LEN),
+            Err(WireError::UnknownKind(k)) => prop_assert!(k > 2),
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Address beacon payload roundtrips for any pair of (possibly absent)
+    /// addresses, as long as "present" addresses are non-zero (zero encodes
+    /// absence).
+    #[test]
+    fn beacon_roundtrip(mesh in any::<u64>(), ble in any::<u64>()) {
+        let mesh_addr = MeshAddress::from_u64(mesh);
+        let ble_addr = BleAddress::from_u64(ble);
+        let b = AddressBeaconPayload {
+            mesh: (mesh_addr != MeshAddress::default()).then_some(mesh_addr),
+            ble: (ble_addr != BleAddress::default()).then_some(ble_addr),
+        };
+        let encoded = b.encode();
+        prop_assert_eq!(encoded.len(), ADDRESS_BEACON_PAYLOAD_LEN);
+        prop_assert_eq!(AddressBeaconPayload::decode(&encoded).unwrap(), b);
+    }
+
+    /// omni_address derivation is permutation-invariant over interfaces.
+    #[test]
+    fn address_permutation_invariant(
+        macs in proptest::collection::vec(any::<[u8; 6]>(), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let mut shuffled = macs.clone();
+        // Cheap deterministic shuffle keyed by the seed.
+        let n = shuffled.len();
+        for i in (1..n).rev() {
+            let j = (seed as usize).wrapping_mul(i.wrapping_add(7)) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(
+            OmniAddress::from_interface_macs(&macs),
+            OmniAddress::from_interface_macs(&shuffled)
+        );
+    }
+}

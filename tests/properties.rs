@@ -1,0 +1,206 @@
+//! Property-based tests on cross-crate invariants: channel conservation,
+//! energy-ledger sanity, and protocol-state round trips under arbitrary
+//! workloads.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use omni::core::{ContextParams, OmniBuilder, OmniStack};
+use omni::sim::{
+    Command, DeviceCaps, DeviceId, NodeApi, NodeEvent, Position, Runner, SimConfig, SimDuration,
+    SimTime, Stack,
+};
+use proptest::prelude::*;
+
+/// A stack that connects to a fixed peer and sends a scripted list of
+/// messages, recording completions; the peer records receipts.
+struct ScriptedSender {
+    peer: omni::wire::MeshAddress,
+    sizes: Vec<u64>,
+    sent: Rc<RefCell<Vec<u64>>>,
+}
+
+struct Receiver {
+    got: Rc<RefCell<Vec<usize>>>,
+}
+
+impl Stack for ScriptedSender {
+    fn on_event(&mut self, event: NodeEvent, api: &mut NodeApi<'_>) {
+        match event {
+            NodeEvent::Start => api.push(Command::TcpConnect { token: 1, peer: self.peer }),
+            NodeEvent::TcpConnectResult { result: Ok(conn), .. } => {
+                for (i, size) in self.sizes.iter().enumerate() {
+                    api.push(Command::TcpSend {
+                        conn,
+                        payload: Bytes::from(vec![i as u8]),
+                        wire_len: *size,
+                    });
+                }
+            }
+            NodeEvent::TcpSendComplete { .. } => {
+                self.sent.borrow_mut().push(api.now.as_micros());
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Stack for Receiver {
+    fn on_event(&mut self, event: NodeEvent, _api: &mut NodeApi<'_>) {
+        if let NodeEvent::TcpMessage { payload, .. } = event {
+            self.got.borrow_mut().push(payload[0] as usize);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Channel conservation: every queued message is delivered exactly once,
+    /// in FIFO order, and total transfer time is at least the fluid-model
+    /// lower bound (sum of bytes at full capacity).
+    #[test]
+    fn tcp_messages_are_conserved_and_ordered(
+        sizes in proptest::collection::vec(1_000u64..2_000_000, 1..12)
+    ) {
+        let mut sim = Runner::new(SimConfig::default());
+        sim.trace_mut().set_enabled(false);
+        let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
+        let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
+        let sent = Rc::new(RefCell::new(Vec::new()));
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.set_stack(a, Box::new(ScriptedSender {
+            peer: sim.mesh_addr(b),
+            sizes: sizes.clone(),
+            sent: sent.clone(),
+        }));
+        sim.set_stack(b, Box::new(Receiver { got: got.clone() }));
+        sim.run_until(SimTime::from_secs(60));
+
+        let got = got.borrow();
+        prop_assert_eq!(got.len(), sizes.len(), "every message delivered once");
+        let expect: Vec<usize> = (0..sizes.len()).collect();
+        prop_assert_eq!(&*got, &expect, "FIFO order preserved");
+
+        // Lower bound on completion: bytes / capacity (plus connect time).
+        let total: u64 = sizes.iter().sum::<u64>();
+        let min_secs = total as f64 / SimConfig::default().wifi.capacity_bps;
+        let last_sent_us = *sent.borrow().last().expect("sender saw completions");
+        prop_assert!(
+            last_sent_us as f64 / 1e6 + 1e-6 >= min_secs,
+            "cannot beat channel capacity: {} < {}",
+            last_sent_us as f64 / 1e6,
+            min_secs
+        );
+    }
+
+    /// Energy monotonicity: accumulated charge never decreases over time and
+    /// a device with all radios off accrues nothing.
+    #[test]
+    fn energy_is_monotonic(checkpoints in proptest::collection::vec(1u64..300, 1..12)) {
+        let mut sim = Runner::new(SimConfig::default());
+        let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
+        let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
+        // b powers everything off.
+        struct Off;
+        impl Stack for Off {
+            fn on_event(&mut self, event: NodeEvent, api: &mut NodeApi<'_>) {
+                if matches!(event, NodeEvent::Start) {
+                    api.push(Command::WifiPower(false));
+                    api.push(Command::BlePower(false));
+                }
+            }
+        }
+        sim.set_stack(b, Box::new(Off));
+        // a beacons.
+        struct Beacon;
+        impl Stack for Beacon {
+            fn on_event(&mut self, event: NodeEvent, api: &mut NodeApi<'_>) {
+                if matches!(event, NodeEvent::Start) {
+                    api.push(Command::BleAdvertiseSet {
+                        slot: 0,
+                        payload: Bytes::from_static(b"x"),
+                        interval: SimDuration::from_millis(100),
+                    });
+                }
+            }
+        }
+        sim.set_stack(a, Box::new(Beacon));
+
+        let mut sorted = checkpoints.clone();
+        sorted.sort_unstable();
+        let mut last_a = 0.0f64;
+        for s in sorted {
+            let t = SimTime::from_millis(s * 100);
+            sim.run_until(t);
+            let now_a = sim.energy().total_ma_s(a, t);
+            prop_assert!(now_a + 1e-12 >= last_a, "monotonic: {now_a} >= {last_a}");
+            last_a = now_a;
+            // Off device: only the pre-Start standby sliver (sub-millisecond).
+            prop_assert!(sim.energy().total_ma_s(b, t) < 1.0);
+        }
+    }
+
+    /// Discovery always happens for any beacon interval and any (in-range)
+    /// placement, and never for out-of-range placements.
+    #[test]
+    fn discovery_iff_in_range(
+        dx in 1.0f64..200.0,
+        interval_ms in 100u64..1500,
+    ) {
+        let mut sim = Runner::new(SimConfig::default());
+        sim.trace_mut().set_enabled(false);
+        let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
+        let b = sim.add_device(DeviceCaps::PI, Position::new(dx, 0.0));
+        let mut cfg = omni::core::OmniConfig::default();
+        cfg.beacon_interval = SimDuration::from_millis(interval_ms);
+        let mgr = OmniBuilder::new().with_ble().with_config(cfg.clone()).build(&sim, a);
+        sim.set_stack(a, Box::new(OmniStack::new(mgr, move |omni| {
+            omni.add_context(
+                ContextParams { interval: SimDuration::from_millis(interval_ms) },
+                Bytes::from_static(b"svc"),
+                Box::new(|_, _, _| {}),
+            );
+        })));
+        let heard = Rc::new(RefCell::new(false));
+        let h = heard.clone();
+        let mgr = OmniBuilder::new().with_ble().with_config(cfg).build(&sim, b);
+        sim.set_stack(b, Box::new(OmniStack::new(mgr, move |omni| {
+            omni.request_context(Box::new(move |_, _, _| *h.borrow_mut() = true));
+        })));
+        sim.run_until(SimTime::from_secs(10));
+        let in_ble_range = dx <= SimConfig::default().ble.range_m;
+        prop_assert_eq!(*heard.borrow(), in_ble_range);
+    }
+}
+
+/// Non-proptest determinism check across heterogeneous stacks (cheap enough
+/// to run unconditionally).
+#[test]
+fn mixed_stack_runs_are_bit_identical() {
+    let run = || {
+        let mut sim = Runner::new(SimConfig::default());
+        let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
+        let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, a);
+        sim.set_stack(a, Box::new(OmniStack::new(mgr, |omni| {
+            omni.add_context(ContextParams::default(), Bytes::from_static(b"det"), Box::new(|_, _, _| {}));
+        })));
+        let l = log.clone();
+        let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, b);
+        sim.set_stack(b, Box::new(OmniStack::new(mgr, move |omni| {
+            omni.request_context(Box::new(move |src, _, o| {
+                l.borrow_mut().push((o.now.as_micros(), src));
+            }));
+        })));
+        sim.run_until(SimTime::from_secs(20));
+        let v = log.borrow().clone();
+        (v, sim.energy().total_ma_s(DeviceId(0), SimTime::from_secs(20)))
+    };
+    let (log1, e1) = run();
+    let (log2, e2) = run();
+    assert_eq!(log1, log2);
+    assert!((e1 - e2).abs() < 1e-12);
+}
