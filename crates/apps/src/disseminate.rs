@@ -460,11 +460,7 @@ impl SpHandler for SpDisseminate {
         self.refresh_beacon(ctl);
         let total = self.assigned.len() as u64 * self.spec.piece_bytes;
         if total > 0 {
-            ctl.push(SpOp::InfraRequest {
-                req: REQ_ASSIGNED,
-                total,
-                chunk: self.spec.piece_bytes,
-            });
+            ctl.push(SpOp::InfraRequest { req: REQ_ASSIGNED, total, chunk: self.spec.piece_bytes });
         }
     }
 

@@ -483,11 +483,8 @@ impl SpHandler for SpProphet {
         };
         self.mesh_of.insert(peer, mesh);
         let gap = self.cfg.encounter_gap;
-        let new_encounter = self
-            .last_heard
-            .get(&peer)
-            .map(|t| ctl.now.saturating_since(*t) > gap)
-            .unwrap_or(true);
+        let new_encounter =
+            self.last_heard.get(&peer).map(|t| ctl.now.saturating_since(*t) > gap).unwrap_or(true);
         self.last_heard.insert(peer, ctl.now);
         self.peer_summaries.insert(peer, summary.clone());
         if new_encounter {

@@ -3,11 +3,10 @@
 use omni_apps::disseminate::{omni_disseminate, FileSpec, SpDisseminate};
 use omni_apps::prophet::{omni_prophet, Bundle, ProphetConfig, SpProphet};
 use omni_apps::tourism;
-use omni_core::{OmniBuilder, OmniStack};
 use omni_baselines::sa::SaBuilder;
 use omni_baselines::sp::SpWifiDevice;
+use omni_core::{OmniBuilder, OmniStack};
 use omni_sim::{DeviceCaps, Position, Runner, SimConfig, SimDuration, SimTime};
-
 
 fn colocated(n: usize) -> (Runner, Vec<omni_sim::DeviceId>) {
     let mut sim = Runner::new(SimConfig::default());
@@ -156,10 +155,13 @@ fn prophet_with_sa_middleware_is_slower_but_delivers() {
         omni_prophet(OmniBuilder::omni_address(&sim, b), cfg, vec![], vec![(omni_c, 0.5)]);
     let (init_c, rep_c) = omni_prophet(omni_c, cfg, vec![], vec![]);
     // Bundles ride unicast WiFi, as in the paper's experiment.
-    let mut mw_cfg = omni_core::OmniConfig::default();
-    mw_cfg.data_techs = Some(vec![omni_wire::TechType::WifiTcp]);
+    let mw_cfg = omni_core::OmniConfig {
+        data_techs: Some(vec![omni_wire::TechType::WifiTcp]),
+        ..Default::default()
+    };
     for (d, init) in [(a, init_a), (b, init_b)] {
-        let mgr = SaBuilder::new().with_ble().with_wifi().with_config(mw_cfg.clone()).build(&sim, d);
+        let mgr =
+            SaBuilder::new().with_ble().with_wifi().with_config(mw_cfg.clone()).build(&sim, d);
         sim.set_stack(d, Box::new(OmniStack::new(mgr, init)));
     }
     let mgr_c = SaBuilder::new().with_ble().with_wifi().with_config(mw_cfg).build(&sim, c);
@@ -214,18 +216,24 @@ fn sp_prophet_delivers_with_establishment_cost() {
     let b = sim.add_device(DeviceCaps::PI, Position::new(20.0, 0.0));
     let c = sim.add_device(DeviceCaps::PI, Position::new(5_000.0, 0.0));
     // SP identities are their omni addresses for bookkeeping.
-    let ids: Vec<_> = [a, b, c]
-        .iter()
-        .map(|&d| OmniBuilder::omni_address(&sim, d))
-        .collect();
+    let ids: Vec<_> = [a, b, c].iter().map(|&d| OmniBuilder::omni_address(&sim, d)).collect();
     let cfg = ProphetConfig::default();
     let bundle = Bundle { id: 3, dest: ids[2], size: 1_000 };
     let (ha, _ra) = SpProphet::new(ids[0], cfg, vec![bundle], vec![]);
     let (hb, _rb) = SpProphet::new(ids[1], cfg, vec![], vec![(ids[2], 0.5)]);
     let (hc, rep_c) = SpProphet::new(ids[2], cfg, vec![], vec![]);
-    sim.set_stack(a, Box::new(SpWifiDevice::new(sim.mesh_addr(a), Box::new(ha), SimDuration::from_secs(30))));
-    sim.set_stack(b, Box::new(SpWifiDevice::new(sim.mesh_addr(b), Box::new(hb), SimDuration::from_secs(30))));
-    sim.set_stack(c, Box::new(SpWifiDevice::new(sim.mesh_addr(c), Box::new(hc), SimDuration::from_secs(30))));
+    sim.set_stack(
+        a,
+        Box::new(SpWifiDevice::new(sim.mesh_addr(a), Box::new(ha), SimDuration::from_secs(30))),
+    );
+    sim.set_stack(
+        b,
+        Box::new(SpWifiDevice::new(sim.mesh_addr(b), Box::new(hb), SimDuration::from_secs(30))),
+    );
+    sim.set_stack(
+        c,
+        Box::new(SpWifiDevice::new(sim.mesh_addr(c), Box::new(hc), SimDuration::from_secs(30))),
+    );
     sim.schedule_teleport(b, SimTime::from_secs(5), Position::new(4_990.0, 0.0));
     sim.run_until(SimTime::from_secs(60));
     let delivered = rep_c.borrow().delivered.clone();

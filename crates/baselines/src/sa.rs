@@ -74,6 +74,15 @@ impl SaBuilder {
         self
     }
 
+    /// Attaches an observability handle (see
+    /// [`OmniBuilder::with_obs`](omni_core::OmniBuilder::with_obs)).
+    pub fn with_obs(mut self, obs: &omni_obs::Obs) -> Self {
+        let mut cfg = self.cfg.take().unwrap_or_default();
+        cfg.obs = Some(obs.clone());
+        self.cfg = Some(cfg);
+        self
+    }
+
     /// Assembles the SA middleware for a device.
     pub fn build(&self, runner: &Runner, dev: DeviceId) -> OmniManager {
         let mut cfg = self.cfg.clone().unwrap_or_default();
@@ -90,9 +99,11 @@ mod tests {
 
     #[test]
     fn sa_builder_forces_the_paradigm_switches() {
-        let mut custom = OmniConfig::default();
-        custom.advertise_on_all_techs = false;
-        custom.integrate_low_level_nd = true;
+        let custom = OmniConfig {
+            advertise_on_all_techs: false,
+            integrate_low_level_nd: true,
+            ..Default::default()
+        };
         let sim = {
             let mut s = omni_sim::Runner::new(SimConfig::default());
             s.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));

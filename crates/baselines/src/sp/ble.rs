@@ -47,7 +47,11 @@ impl SpBleDevice {
                     let mut framed = BytesMut::with_capacity(1 + payload.len());
                     framed.put_u8(TAG_BEACON);
                     framed.put_slice(&payload);
-                    api.push(Command::BleAdvertiseSet { slot: 0, payload: framed.freeze(), interval });
+                    api.push(Command::BleAdvertiseSet {
+                        slot: 0,
+                        payload: framed.freeze(),
+                        interval,
+                    });
                 }
                 SpOp::StopBeacon => api.push(Command::BleAdvertiseStop { slot: 0 }),
                 SpOp::SendSmall { to: SpAddr::Ble(dest), payload } => {
@@ -99,24 +103,23 @@ impl Stack for SpBleDevice {
             NodeEvent::Timer { token } if token >= APP_TIMER_BASE => {
                 self.dispatch(api, |h, ctl| h.on_timer(token - APP_TIMER_BASE, ctl));
             }
-            NodeEvent::BleBeacon { from, payload }
-                if payload.first() == Some(&TAG_BEACON) => {
-                    let body = payload.slice(1..);
-                    self.dispatch(api, |h, ctl| h.on_beacon(SpAddr::Ble(from), &body, ctl));
-                }
+            NodeEvent::BleBeacon { from, payload } if payload.first() == Some(&TAG_BEACON) => {
+                let body = payload.slice(1..);
+                self.dispatch(api, |h, ctl| h.on_beacon(SpAddr::Ble(from), &body, ctl));
+            }
             NodeEvent::BleOneShot { from, payload }
-                if payload.first() == Some(&TAG_DATA) && payload.len() >= 7 => {
-                    let mut dest = [0u8; 6];
-                    dest.copy_from_slice(&payload[1..7]);
-                    if BleAddress(dest) == self.own {
-                        let body = payload.slice(7..);
-                        self.dispatch(api, |h, ctl| h.on_data(SpAddr::Ble(from), &body, ctl));
-                    }
+                if payload.first() == Some(&TAG_DATA) && payload.len() >= 7 =>
+            {
+                let mut dest = [0u8; 6];
+                dest.copy_from_slice(&payload[1..7]);
+                if BleAddress(dest) == self.own {
+                    let body = payload.slice(7..);
+                    self.dispatch(api, |h, ctl| h.on_data(SpAddr::Ble(from), &body, ctl));
                 }
-            NodeEvent::BleOneShotSent
-                if self.inflight.pop_front().is_some() => {
-                    self.dispatch(api, |h, ctl| h.on_sent(ctl));
-                }
+            }
+            NodeEvent::BleOneShotSent if self.inflight.pop_front().is_some() => {
+                self.dispatch(api, |h, ctl| h.on_sent(ctl));
+            }
             NodeEvent::InfraChunk { req, received_bytes, done, .. } => {
                 self.dispatch(api, |h, ctl| h.on_infra(req, received_bytes, done, ctl));
             }

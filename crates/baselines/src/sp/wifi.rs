@@ -180,18 +180,17 @@ impl Stack for SpWifiDevice {
                     self.dispatch(api, |h, ctl| h.on_established(ctl));
                 }
             }
-            NodeEvent::WifiScanDone { found }
-                if self.net == NetState::EstablishScan => {
-                    if found.is_empty() {
-                        // Nobody around: resume normal operation.
-                        self.net = NetState::Joining;
-                        api.push(Command::Trace("sp-wifi: establish found no networks".into()));
-                    } else {
-                        self.net = NetState::EstablishJoin;
-                    }
-                    api.push(Command::WifiJoin);
+            NodeEvent::WifiScanDone { found } if self.net == NetState::EstablishScan => {
+                if found.is_empty() {
+                    // Nobody around: resume normal operation.
+                    self.net = NetState::Joining;
+                    api.push(Command::Trace("sp-wifi: establish found no networks".into()));
+                } else {
+                    self.net = NetState::EstablishJoin;
                 }
-                // Periodic rescans are fire-and-forget.
+                api.push(Command::WifiJoin);
+            }
+            // Periodic rescans are fire-and-forget.
             NodeEvent::Timer { token: TIMER_BEACON } => {
                 if let Some((payload, interval)) = self.beacon.clone() {
                     if self.net == NetState::Up {
@@ -204,13 +203,12 @@ impl Stack for SpWifiDevice {
                     api.push(Command::SetTimer { token: TIMER_BEACON, delay: interval });
                 }
             }
-            NodeEvent::Timer { token: TIMER_RESCAN }
-                if self.beacon.is_some() => {
-                    if self.net == NetState::Up {
-                        api.push(Command::WifiScan);
-                    }
-                    api.push(Command::SetTimer { token: TIMER_RESCAN, delay: self.rescan });
+            NodeEvent::Timer { token: TIMER_RESCAN } if self.beacon.is_some() => {
+                if self.net == NetState::Up {
+                    api.push(Command::WifiScan);
                 }
+                api.push(Command::SetTimer { token: TIMER_RESCAN, delay: self.rescan });
+            }
             NodeEvent::Timer { token } if token >= APP_TIMER_BASE => {
                 self.dispatch(api, |h, ctl| h.on_timer(token - APP_TIMER_BASE, ctl));
             }

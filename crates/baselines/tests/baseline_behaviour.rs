@@ -6,7 +6,9 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use omni_baselines::sa::SaBuilder;
-use omni_baselines::sp::{PassiveBeacon, SpAddr, SpBleDevice, SpCtl, SpHandler, SpOp, SpWifiDevice};
+use omni_baselines::sp::{
+    PassiveBeacon, SpAddr, SpBleDevice, SpCtl, SpHandler, SpOp, SpWifiDevice,
+};
 use omni_core::{OmniBuilder, OmniStack};
 use omni_sim::{DeviceCaps, Position, Runner, SimConfig, SimDuration, SimTime};
 use omni_wire::StatusCode;
@@ -112,7 +114,15 @@ fn sp_ble_devices_exchange_beacons_and_small_data() {
         interval: SimDuration::from_millis(500),
     }]);
     let hb = hb.with_reply(Bytes::from_static(b"response"));
-    sim.set_stack(a, Box::new(SpBleDevice::new(sim.ble_addr(a), Box::new(Sender { inner: ha, dest: ble_b }), 1.0, true)));
+    sim.set_stack(
+        a,
+        Box::new(SpBleDevice::new(
+            sim.ble_addr(a),
+            Box::new(Sender { inner: ha, dest: ble_b }),
+            1.0,
+            true,
+        )),
+    );
     sim.set_stack(b, Box::new(SpBleDevice::new(ble_b, Box::new(hb), 1.0, true)));
     sim.run_until(SimTime::from_secs(10));
     let ea = ea.borrow();
@@ -172,7 +182,14 @@ fn sp_wifi_beacons_ride_multicast_and_interactions_reestablish() {
         payload: Bytes::from_static(b"svc-b"),
         interval: SimDuration::from_millis(500),
     }]);
-    sim.set_stack(a, Box::new(SpWifiDevice::new(sim.mesh_addr(a), Box::new(Interactor { inner: ha, dest: mesh_b }), SimDuration::from_secs(30))));
+    sim.set_stack(
+        a,
+        Box::new(SpWifiDevice::new(
+            sim.mesh_addr(a),
+            Box::new(Interactor { inner: ha, dest: mesh_b }),
+            SimDuration::from_secs(30),
+        )),
+    );
     sim.set_stack(b, Box::new(SpWifiDevice::new(mesh_b, Box::new(hb), SimDuration::from_secs(30))));
     sim.run_until(SimTime::from_secs(15));
     let ea = ea.borrow();
@@ -199,8 +216,10 @@ fn sa_pays_establishment_where_omni_does_not() {
         let sent_at: Rc<RefCell<Option<(SimTime, SimTime)>>> = Rc::new(RefCell::new(None));
         // Pin data to unicast TCP over WiFi, as the paper's
         // BLE-context/WiFi-data row does.
-        let mut cfg = omni_core::OmniConfig::default();
-        cfg.data_techs = Some(vec![omni_wire::TechType::WifiTcp]);
+        let cfg = omni_core::OmniConfig {
+            data_techs: Some(vec![omni_wire::TechType::WifiTcp]),
+            ..Default::default()
+        };
         let manager = if sa {
             SaBuilder::new().with_ble().with_wifi().with_config(cfg.clone()).build(&sim, a)
         } else {

@@ -60,9 +60,12 @@ fn bench_middleware(c: &mut Criterion) {
                     })),
                 );
                 let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, bdev);
-                sim.set_stack(bdev, Box::new(OmniStack::new(mgr, |omni| {
-                    omni.request_data(Box::new(|_, _, _| {}));
-                })));
+                sim.set_stack(
+                    bdev,
+                    Box::new(OmniStack::new(mgr, |omni| {
+                        omni.request_data(Box::new(|_, _, _| {}));
+                    })),
+                );
                 sim
             },
             |mut sim| sim.run_until(SimTime::from_secs(4)),

@@ -16,15 +16,21 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use omni_bench::experiments::BASELINE_MA;
+use omni_bench::report::emit_obs;
 use omni_core::{ContextParams, OmniBuilder, OmniConfig, OmniStack};
+use omni_obs::Obs;
 use omni_sim::{DeviceCaps, Position, Runner, SimConfig, SimDuration, SimTime};
 use omni_wire::{StatusCode, TechType};
 
 /// Average discovery-phase current (mA rel. baseline) for a pair of idle,
 /// beaconing devices under a given config.
-fn discovery_energy(cfg: OmniConfig) -> f64 {
+fn discovery_energy(mut cfg: OmniConfig, obs: Option<&Obs>) -> f64 {
     let mut sim = Runner::new(SimConfig::default());
     sim.trace_mut().set_enabled(false);
+    if let Some(o) = obs {
+        sim.set_obs(o.clone());
+        cfg.obs = Some(o.clone());
+    }
     let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
     let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
     for d in [a, b] {
@@ -45,9 +51,13 @@ fn discovery_energy(cfg: OmniConfig) -> f64 {
 }
 
 /// 30 B data latency (ms) after a 10 s warmup under a given config.
-fn data_latency_ms(cfg: OmniConfig) -> f64 {
+fn data_latency_ms(mut cfg: OmniConfig, obs: Option<&Obs>) -> f64 {
     let mut sim = Runner::new(SimConfig::default());
     sim.trace_mut().set_enabled(false);
+    if let Some(o) = obs {
+        sim.set_obs(o.clone());
+        cfg.obs = Some(o.clone());
+    }
     let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
     let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
     let dest = OmniBuilder::omni_address(&sim, b);
@@ -77,23 +87,28 @@ fn data_latency_ms(cfg: OmniConfig) -> f64 {
         })),
     );
     let mgr = OmniBuilder::new().with_ble().with_wifi().with_config(cfg).build(&sim, b);
-    sim.set_stack(b, Box::new(OmniStack::new(mgr, |omni| {
-        omni.request_data(Box::new(|_, _, _| {}));
-    })));
+    sim.set_stack(
+        b,
+        Box::new(OmniStack::new(mgr, |omni| {
+            omni.request_data(Box::new(|_, _, _| {}));
+        })),
+    );
     sim.run_until(SimTime::from_secs(30));
     let (start, end) = *sent.borrow();
     (end.expect("send completes") - start.expect("send issued")).as_secs_f64() * 1e3
 }
 
 /// Discovery latency (ms): time until B first hears A's context pack.
-fn discovery_latency_ms(beacon_interval: SimDuration) -> f64 {
+fn discovery_latency_ms(beacon_interval: SimDuration, obs: Option<&Obs>) -> f64 {
     let mut sim = Runner::new(SimConfig::default());
     sim.trace_mut().set_enabled(false);
+    if let Some(o) = obs {
+        sim.set_obs(o.clone());
+    }
     let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
     let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
     let heard: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
-    let mut cfg = OmniConfig::default();
-    cfg.beacon_interval = beacon_interval;
+    let cfg = OmniConfig { beacon_interval, obs: obs.cloned(), ..Default::default() };
     let mgr = OmniBuilder::new().with_ble().with_config(cfg.clone()).build(&sim, a);
     sim.set_stack(
         a,
@@ -122,56 +137,60 @@ fn discovery_latency_ms(beacon_interval: SimDuration) -> f64 {
 }
 
 fn main() {
+    let obs = Obs::new();
     println!("== Ablation: context/data bifurcation (beacon only on the cheapest tech) ==");
-    let omni = discovery_energy(OmniConfig::default());
-    let mut all = OmniConfig::default();
-    all.advertise_on_all_techs = true;
-    let everywhere = discovery_energy(all);
+    let omni = discovery_energy(OmniConfig::default(), Some(&obs));
+    let all = OmniConfig { advertise_on_all_techs: true, ..Default::default() };
+    let everywhere = discovery_energy(all, Some(&obs));
     println!("  engagement policy (Omni)     : {omni:>7.2} mA");
     println!("  advertise on all (SA-style)  : {everywhere:>7.2} mA");
     println!("  -> the bifurcation saves {:.2} mA of continuous discovery draw", everywhere - omni);
 
     println!();
     println!("== Ablation: low-level neighbor discovery integration ==");
-    let mut pinned = OmniConfig::default();
-    pinned.data_techs = Some(vec![TechType::WifiTcp]);
-    let with_nd = data_latency_ms(pinned.clone());
+    let pinned = OmniConfig { data_techs: Some(vec![TechType::WifiTcp]), ..Default::default() };
+    let with_nd = data_latency_ms(pinned.clone(), Some(&obs));
     let mut without = pinned;
     without.integrate_low_level_nd = false;
-    let without_nd = data_latency_ms(without);
+    let without_nd = data_latency_ms(without, Some(&obs));
     println!("  beacon carries WiFi address (Omni): {with_nd:>9.2} ms");
     println!("  addresses not integrated (SA)     : {without_nd:>9.2} ms");
-    println!("  -> integration removes the {:.1} s network-establishment cost", (without_nd - with_nd) / 1e3);
+    println!(
+        "  -> integration removes the {:.1} s network-establishment cost",
+        (without_nd - with_nd) / 1e3
+    );
 
     println!();
     println!("== Sweep: address/context beacon interval (paper fixes 500 ms) ==");
     println!("  interval   discovery-latency   discovery-energy");
     for ms in [100u64, 250, 500, 1000, 2000] {
         let interval = SimDuration::from_millis(ms);
-        let lat = discovery_latency_ms(interval);
-        let mut cfg = OmniConfig::default();
-        cfg.beacon_interval = interval;
-        let energy = discovery_energy(cfg);
+        let lat = discovery_latency_ms(interval, Some(&obs));
+        let cfg = OmniConfig { beacon_interval: interval, ..Default::default() };
+        let energy = discovery_energy(cfg, Some(&obs));
         println!("  {ms:>5} ms   {lat:>12.1} ms   {energy:>11.2} mA");
     }
 
     println!();
     println!("== Extension: adaptive beacon frequency (paper §3.1 future work) ==");
     let fixed_fast = {
-        let mut cfg = OmniConfig::default();
-        cfg.beacon_interval = SimDuration::from_millis(250);
-        discovery_energy(cfg)
+        let cfg =
+            OmniConfig { beacon_interval: SimDuration::from_millis(250), ..Default::default() };
+        discovery_energy(cfg, Some(&obs))
     };
     let adaptive = {
-        let mut cfg = OmniConfig::default();
-        cfg.adaptive_beacon = Some(omni_core::AdaptiveBeacon {
-            min: SimDuration::from_millis(250),
-            max: SimDuration::from_secs(4),
-        });
-        discovery_energy(cfg)
+        let cfg = OmniConfig {
+            adaptive_beacon: Some(omni_core::AdaptiveBeacon {
+                min: SimDuration::from_millis(250),
+                max: SimDuration::from_secs(4),
+            }),
+            ..Default::default()
+        };
+        discovery_energy(cfg, Some(&obs))
     };
     println!("  fixed 250 ms forever        : {fixed_fast:>7.2} mA");
     println!("  adaptive 250 ms -> 4 s decay: {adaptive:>7.2} mA");
     println!("  -> same worst-case discovery latency when the neighborhood changes,");
     println!("     {:.2} mA saved once it stabilizes", fixed_fast - adaptive);
+    emit_obs("ablations", &obs);
 }

@@ -5,8 +5,8 @@ use std::process::Command;
 fn main() {
     for bin in ["table3", "table4", "table5", "fig7"] {
         println!("\n########## {bin} ##########\n");
-        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
-            .status();
+        let status =
+            Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin)).status();
         match status {
             Ok(s) if s.success() => {}
             other => {

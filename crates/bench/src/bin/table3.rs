@@ -1,10 +1,12 @@
 //! Regenerates paper Table 3: baseline current draw for D2D operations.
 
 use omni_bench::experiments::table3;
-use omni_bench::report::{Cell, Table};
+use omni_bench::report::{emit_obs, Cell, Table};
+use omni_obs::Obs;
 
 fn main() {
-    let rows = table3();
+    let obs = Obs::new();
+    let rows = table3(Some(&obs));
     let mut t = Table::new(
         "Table 3: Baseline current draw for D2D technology operations (mA)",
         &["Current (mA)"],
@@ -17,4 +19,5 @@ fn main() {
     println!("Notes: values are relative to WiFi standby (92.1 mA) where the paper's are;");
     println!("BLE rows are absolute (WiFi radio off). WiFi-receive reports the model's");
     println!("receive-current constant — see EXPERIMENTS.md for the full-duplex caveat.");
+    emit_obs("table3", &obs);
 }

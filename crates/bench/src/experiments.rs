@@ -7,6 +7,7 @@ use omni_apps::prophet::{omni_prophet, Bundle, ProphetConfig, SpProphet};
 use omni_baselines::sa::SaBuilder;
 use omni_baselines::sp::{SpBleDevice, SpWifiDevice};
 use omni_core::{OmniBuilder, OmniConfig, OmniStack};
+use omni_obs::Obs;
 use omni_sim::{
     Command, DeviceCaps, DeviceId, NodeApi, NodeEvent, Position, Runner, SimConfig, SimDuration,
     SimTime, Stack,
@@ -76,8 +77,12 @@ fn measure_window(
     setup: impl FnOnce(&mut Runner, DeviceId, DeviceId),
     window: (SimTime, SimTime),
     subtract_standby: bool,
+    obs: Option<&Obs>,
 ) -> f64 {
     let mut sim = Runner::new(SimConfig::default());
+    if let Some(o) = obs {
+        sim.set_obs(o.clone());
+    }
     let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
     let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
     setup(&mut sim, a, b);
@@ -100,7 +105,7 @@ fn measure_window(
 /// `WiFi-receive` reports the model's receive-current constant: in the
 /// channel model a TCP endpoint always drives data *and* ACK traffic, so an
 /// endpoint measurement shows send+receive combined (see EXPERIMENTS.md).
-pub fn table3() -> Vec<OpDraw> {
+pub fn table3(obs: Option<&Obs>) -> Vec<OpDraw> {
     let cfg = SimConfig::default();
     let mut rows = Vec::new();
     // WiFi scan: draw during the scan interval.
@@ -113,6 +118,7 @@ pub fn table3() -> Vec<OpDraw> {
             },
             (SimTime::ZERO, SimTime::ZERO + cfg.wifi.scan_time),
             true,
+            obs,
         ),
     });
     // WiFi connect: draw during the join interval.
@@ -125,6 +131,7 @@ pub fn table3() -> Vec<OpDraw> {
             },
             (SimTime::ZERO, SimTime::ZERO + cfg.wifi.join_time),
             true,
+            obs,
         ),
     });
     // WiFi send: continuous multicast transmission.
@@ -154,11 +161,9 @@ pub fn table3() -> Vec<OpDraw> {
                     }
                     sim.set_stack(a, Box::new(Sender));
                 },
-                (
-                    SimTime::ZERO + cfg.wifi.join_time,
-                    SimTime::ZERO + cfg.wifi.join_time + airtime,
-                ),
+                (SimTime::ZERO + cfg.wifi.join_time, SimTime::ZERO + cfg.wifi.join_time + airtime),
                 true,
+                obs,
             )
         },
     });
@@ -177,12 +182,16 @@ pub fn table3() -> Vec<OpDraw> {
                 sim.set_stack(
                     a,
                     Box::new(OneShotScript {
-                        cmds: vec![Command::BleSetScan { duty: Some(1.0) }, Command::WifiPower(false)],
+                        cmds: vec![
+                            Command::BleSetScan { duty: Some(1.0) },
+                            Command::WifiPower(false),
+                        ],
                     }),
                 );
             },
             (SimTime::ZERO, SimTime::from_secs(10)),
             false,
+            obs,
         ),
     });
     // BLE advertise: back-to-back advertising events (interval = pulse).
@@ -207,11 +216,11 @@ pub fn table3() -> Vec<OpDraw> {
             },
             (SimTime::ZERO, SimTime::from_secs(10)),
             false,
+            obs,
         ),
     });
     rows
 }
-
 
 /// Steps the simulation in small increments until `done` reports a
 /// completion time, returning the (slightly later) observation instant.
@@ -301,7 +310,7 @@ pub struct Measured {
 
 /// Runs one (system, row) cell of the controlled comparison. Returns `None`
 /// for inapplicable combinations (SP with mixed technologies).
-pub fn table4_cell(system: System, row: &Table4Row) -> Option<Measured> {
+pub fn table4_cell(system: System, row: &Table4Row, obs: Option<&Obs>) -> Option<Measured> {
     let ble_ctx = row.context == "BLE";
     let wifi_data = row.data.starts_with("WiFi");
     if system == System::Sp && ble_ctx && wifi_data {
@@ -309,6 +318,9 @@ pub fn table4_cell(system: System, row: &Table4Row) -> Option<Measured> {
     }
     let mut sim = Runner::new(SimConfig::default());
     sim.trace_mut().set_enabled(false);
+    if let Some(o) = obs {
+        sim.set_obs(o.clone());
+    }
     let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
     let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
     let report;
@@ -319,17 +331,29 @@ pub fn table4_cell(system: System, row: &Table4Row) -> Option<Measured> {
                 report = rep;
                 // SP duty-cycles discovery scanning hard and powers WiFi off
                 // entirely — it knows both endpoints are BLE-only.
-                sim.set_stack(a, Box::new(SpBleDevice::new(sim.ble_addr(a), Box::new(init), 0.05, true)));
+                sim.set_stack(
+                    a,
+                    Box::new(SpBleDevice::new(sim.ble_addr(a), Box::new(init), 0.05, true)),
+                );
                 sim.set_stack(
                     b,
-                    Box::new(SpBleDevice::new(sim.ble_addr(b), Box::new(SpBleResponder), 0.05, true)),
+                    Box::new(SpBleDevice::new(
+                        sim.ble_addr(b),
+                        Box::new(SpBleResponder),
+                        0.05,
+                        true,
+                    )),
                 );
             } else {
                 let (init, rep) = SpWifiInitiator::new();
                 report = rep;
                 sim.set_stack(
                     a,
-                    Box::new(SpWifiDevice::new(sim.mesh_addr(a), Box::new(init), SimDuration::from_secs(60))),
+                    Box::new(SpWifiDevice::new(
+                        sim.mesh_addr(a),
+                        Box::new(init),
+                        SimDuration::from_secs(60),
+                    )),
                 );
                 sim.set_stack(
                     b,
@@ -342,12 +366,15 @@ pub fn table4_cell(system: System, row: &Table4Row) -> Option<Measured> {
             }
         }
         System::Sa | System::Omni => {
-            let mut cfg = OmniConfig::default();
-            cfg.data_techs = Some(if row.data == "BLE" {
-                vec![TechType::BleBeacon]
-            } else {
-                vec![TechType::WifiTcp]
-            });
+            let cfg = OmniConfig {
+                obs: obs.cloned(),
+                data_techs: Some(if row.data == "BLE" {
+                    vec![TechType::BleBeacon]
+                } else {
+                    vec![TechType::WifiTcp]
+                }),
+                ..Default::default()
+            };
             let mk = |sim: &Runner, dev: DeviceId| match system {
                 // SA always runs every technology (its paradigm).
                 System::Sa => {
@@ -411,15 +438,26 @@ pub enum DisseminateVariant {
 
 /// Runs one Disseminate configuration at the given infrastructure rate
 /// (bytes/second), observing device 0 (paper: "an arbitrary device").
-pub fn table5_cell(variant: DisseminateVariant, rate_bps: f64) -> DisseminateMeasured {
+pub fn table5_cell(
+    variant: DisseminateVariant,
+    rate_bps: f64,
+    obs: Option<&Obs>,
+) -> DisseminateMeasured {
     let spec = FileSpec::PAPER_30MB;
     let mut sim = Runner::new(SimConfig::default());
     sim.trace_mut().set_enabled(false);
+    if let Some(o) = obs {
+        sim.set_obs(o.clone());
+    }
     if variant == DisseminateVariant::Direct {
         let d = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
         sim.set_infra_rate(d, rate_bps);
         let (init, report) = omni_disseminate(spec, 0, 1);
-        let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, d);
+        let mut builder = OmniBuilder::new().with_ble().with_wifi();
+        if let Some(o) = obs {
+            builder = builder.with_obs(o);
+        }
+        let mgr = builder.build(&sim, d);
         sim.set_stack(d, Box::new(OmniStack::new(mgr, init)));
         let observed = {
             let rep = report.clone();
@@ -453,9 +491,17 @@ pub fn table5_cell(variant: DisseminateVariant, rate_bps: f64) -> DisseminateMea
                 let (init, report) = omni_disseminate(spec, i, 3);
                 reports.push(report);
                 let mgr = if variant == DisseminateVariant::Sa {
-                    SaBuilder::new().with_ble().with_wifi().build(&sim, d)
+                    let mut builder = SaBuilder::new().with_ble().with_wifi();
+                    if let Some(o) = obs {
+                        builder = builder.with_obs(o);
+                    }
+                    builder.build(&sim, d)
                 } else {
-                    OmniBuilder::new().with_ble().with_wifi().build(&sim, d)
+                    let mut builder = OmniBuilder::new().with_ble().with_wifi();
+                    if let Some(o) = obs {
+                        builder = builder.with_obs(o);
+                    }
+                    builder.build(&sim, d)
                 };
                 sim.set_stack(d, Box::new(OmniStack::new(mgr, init)));
             }
@@ -488,9 +534,12 @@ pub struct ProphetMeasured {
 
 /// Runs the three-device PRoPHET scenario (paper §4.3): A holds a 1 KB
 /// bundle for C, B carries it across after a 5 s encounter delay.
-pub fn fig7_cell(system: System) -> ProphetMeasured {
+pub fn fig7_cell(system: System, obs: Option<&Obs>) -> ProphetMeasured {
     let mut sim = Runner::new(SimConfig::default());
     sim.trace_mut().set_enabled(false);
+    if let Some(o) = obs {
+        sim.set_obs(o.clone());
+    }
     let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
     let b = sim.add_device(DeviceCaps::PI, Position::new(20.0, 0.0));
     let c = sim.add_device(DeviceCaps::PI, Position::new(5_000.0, 0.0));
@@ -504,14 +553,23 @@ pub fn fig7_cell(system: System) -> ProphetMeasured {
             let (hb, _) = SpProphet::new(ids[1], cfg, vec![], vec![(ids[2], 0.5)]);
             let (hc, rc) = SpProphet::new(ids[2], cfg, vec![], vec![]);
             rep_c = rc;
-            for (d, h) in [(a, Box::new(ha) as Box<dyn omni_baselines::sp::SpHandler>), (b, Box::new(hb)), (c, Box::new(hc))]
-            {
-                sim.set_stack(d, Box::new(SpWifiDevice::new(sim.mesh_addr(d), h, SimDuration::from_secs(60))));
+            for (d, h) in [
+                (a, Box::new(ha) as Box<dyn omni_baselines::sp::SpHandler>),
+                (b, Box::new(hb)),
+                (c, Box::new(hc)),
+            ] {
+                sim.set_stack(
+                    d,
+                    Box::new(SpWifiDevice::new(sim.mesh_addr(d), h, SimDuration::from_secs(60))),
+                );
             }
         }
         System::Sa | System::Omni => {
-            let mut mw_cfg = OmniConfig::default();
-            mw_cfg.data_techs = Some(vec![TechType::WifiTcp]);
+            let mw_cfg = OmniConfig {
+                obs: obs.cloned(),
+                data_techs: Some(vec![TechType::WifiTcp]),
+                ..Default::default()
+            };
             let (ia, _) = omni_prophet(ids[0], cfg, vec![bundle], vec![]);
             let (ib, _) = omni_prophet(ids[1], cfg, vec![], vec![(ids[2], 0.5)]);
             let (ic, rc) = omni_prophet(ids[2], cfg, vec![], vec![]);
@@ -521,9 +579,17 @@ pub fn fig7_cell(system: System) -> ProphetMeasured {
             let mut inits_c = [None, None, Some(ic)];
             for (i, d) in [a, b, c].into_iter().enumerate() {
                 let mgr = if system == System::Sa {
-                    SaBuilder::new().with_ble().with_wifi().with_config(mw_cfg.clone()).build(&sim, d)
+                    SaBuilder::new()
+                        .with_ble()
+                        .with_wifi()
+                        .with_config(mw_cfg.clone())
+                        .build(&sim, d)
                 } else {
-                    OmniBuilder::new().with_ble().with_wifi().with_config(mw_cfg.clone()).build(&sim, d)
+                    OmniBuilder::new()
+                        .with_ble()
+                        .with_wifi()
+                        .with_config(mw_cfg.clone())
+                        .build(&sim, d)
                 };
                 let init_a = inits[i].take();
                 let init_b = inits_b[i].take();

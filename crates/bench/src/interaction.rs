@@ -172,7 +172,10 @@ impl SpHandler for SpBleInitiator {
         let mut r = self.report.borrow_mut();
         if r.request_at.is_none() {
             r.request_at = Some(ctl.now);
-            ctl.push(SpOp::SendSmall { to: SpAddr::Ble(peer), payload: Bytes::from_static(REQUEST) });
+            ctl.push(SpOp::SendSmall {
+                to: SpAddr::Ble(peer),
+                payload: Bytes::from_static(REQUEST),
+            });
         }
     }
 

@@ -62,13 +62,8 @@ impl Table {
     /// Renders the table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain(std::iter::once(4))
-            .max()
-            .unwrap();
+        let label_w =
+            self.rows.iter().map(|(l, _)| l.len()).chain(std::iter::once(4)).max().unwrap();
         let col_w = 19usize;
         let _ = writeln!(out, "== {} ==", self.title);
         let _ = write!(out, "{:label_w$}", "");
@@ -129,6 +124,35 @@ impl Chart {
     }
 }
 
+/// Renders an observability snapshot as a report section: a title banner
+/// followed by the snapshot's aligned metric and event text.
+pub fn obs_section(title: &str, snap: &omni_obs::Snapshot) -> String {
+    format!("#### {title} ####\n{}", snap.to_text())
+}
+
+/// Writes the snapshot's JSON next to the run's other artifacts
+/// (`target/obs/<name>.json`), creating the directory as needed, and
+/// returns the path written.
+pub fn dump_obs_json(name: &str, snap: &omni_obs::Snapshot) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("obs");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, snap.to_json())?;
+    Ok(path)
+}
+
+/// Prints the standard end-of-run observability block: the text snapshot and
+/// the path of the JSON dump. Bench binaries call this last.
+pub fn emit_obs(name: &str, obs: &omni_obs::Obs) {
+    let snap = obs.snapshot();
+    println!();
+    print!("{}", obs_section(&format!("Observability snapshot ({name})"), &snap));
+    match dump_obs_json(name, &snap) {
+        Ok(path) => println!("obs json: {}", path.display()),
+        Err(e) => eprintln!("obs json write failed: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +184,14 @@ mod tests {
     fn row_width_is_validated() {
         let mut t = Table::new("X", &["a", "b"]);
         t.row("r", vec![Cell::NA]);
+    }
+
+    #[test]
+    fn obs_section_carries_title_and_metrics() {
+        let obs = omni_obs::Obs::new();
+        obs.counter("tech.ble-beacon.tx_frames").add(7);
+        let s = obs_section("snapshot", &obs.snapshot());
+        assert!(s.starts_with("#### snapshot ####"));
+        assert!(s.contains("tech.ble-beacon.tx_frames"));
     }
 }

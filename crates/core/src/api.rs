@@ -212,7 +212,12 @@ impl OmniCtl {
 
     /// Instructs Omni to send `data` to the destinations; the callback is
     /// notified of the status per destination.
-    pub fn send_data(&mut self, destinations: Vec<OmniAddress>, data: Bytes, status: StatusCallback) {
+    pub fn send_data(
+        &mut self,
+        destinations: Vec<OmniAddress>,
+        data: Bytes,
+        status: StatusCallback,
+    ) {
         let total_len = data.len() as u64;
         self.calls.push(ApiCall::SendData { destinations, data, total_len, status });
     }
@@ -316,7 +321,12 @@ mod tests {
     #[test]
     fn sized_send_keeps_the_logical_length() {
         let mut ctl = OmniCtl::new();
-        ctl.send_data_sized(vec![], Bytes::from_static(b"desc"), 25_000_000, Box::new(|_, _, _| {}));
+        ctl.send_data_sized(
+            vec![],
+            Bytes::from_static(b"desc"),
+            25_000_000,
+            Box::new(|_, _, _| {}),
+        );
         match &ctl.calls[0] {
             ApiCall::SendData { total_len, data, .. } => {
                 assert_eq!(*total_len, 25_000_000);

@@ -47,6 +47,18 @@ pub struct OmniConfig {
     /// in the spirit of eDiscovery): beacon fast while the neighborhood is
     /// changing, decay toward `max` when it is stable.
     pub adaptive_beacon: Option<AdaptiveBeacon>,
+    /// Observability handle. When set, the manager exports peer-map /
+    /// context gauges, engagement and data counters, and structured events;
+    /// the three shared queues are instrumented (depth, wait, drops); and
+    /// each technology receives the handle via
+    /// [`D2dTechnology::attach_obs`](crate::D2dTechnology::attach_obs).
+    pub obs: Option<omni_obs::Obs>,
+    /// Optional bound on the three shared queues. When `Some(n)`, each queue
+    /// holds at most `n` items and evicts the oldest to admit a new one
+    /// (drops are counted, and surface as `queue.*.dropped` metrics plus
+    /// `QueueDropped` events when `obs` is set). `None` keeps the historical
+    /// unbounded behavior.
+    pub queue_capacity: Option<usize>,
 }
 
 /// Policy for adaptive address-beacon intervals.
@@ -78,6 +90,8 @@ impl Default for OmniConfig {
             context_key: None,
             relay_ttl: 0,
             adaptive_beacon: None,
+            obs: None,
+            queue_capacity: None,
         }
     }
 }

@@ -87,9 +87,7 @@ impl ControlFrame {
     ///
     /// Returns a [`WireError`] for truncated or unrecognized frames.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
-        let (&tag, rest) = bytes
-            .split_first()
-            .ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+        let (&tag, rest) = bytes.split_first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
         match tag {
             TAG_PACKED => Ok(ControlFrame::Packed(PackedStruct::decode(rest)?)),
             TAG_BATCH => {

@@ -69,7 +69,6 @@ pub use api::{
     TimerCallback,
 };
 pub use config::{AdaptiveBeacon, LinkTimings, OmniConfig};
-pub use security::{ContextCipher, GroupKey};
 pub use control::ControlFrame;
 pub use manager::{OmniManager, ADDRESS_BEACON_CONTEXT_ID};
 pub use peers::{PeerMap, PeerRecord};
@@ -77,6 +76,7 @@ pub use queues::{
     LowAddr, ReceivedItem, ResponseOk, SendOp, SendRequest, SharedQueue, TechFailure, TechQueues,
     TechResponse,
 };
+pub use security::{ContextCipher, GroupKey};
 pub use selection::{candidates, Candidate};
 pub use stack::{OmniBuilder, OmniStack};
 pub use tech::D2dTechnology;

@@ -24,13 +24,17 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::{BufMut, Bytes};
-use omni_sim::{NodeApi, NodeEvent, SimDuration};
+use omni_obs::{Counter, EventKind, Gauge, Obs};
+use omni_sim::{NodeApi, NodeEvent, SimDuration, SimTime};
 use omni_wire::{
     AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
     ResponseInfo, StatusCode, TechType,
 };
 
-use crate::api::{ApiCall, ContextCallback, ContextParams, DataCallback, InfraCallback, StatusCallback, TimerCallback};
+use crate::api::{
+    ApiCall, ContextCallback, ContextParams, DataCallback, InfraCallback, StatusCallback,
+    TimerCallback,
+};
 use crate::config::OmniConfig;
 use crate::peers::PeerMap;
 use crate::queues::{
@@ -49,6 +53,72 @@ pub const ADDRESS_BEACON_CONTEXT_ID: u64 = 0;
 
 type SharedCb = Rc<RefCell<StatusCallback>>;
 
+/// Static label of a technology, matching its `Display` form (metric and
+/// event payloads want `&'static str` so recording never allocates).
+fn tech_label(ty: TechType) -> &'static str {
+    match ty {
+        TechType::BleBeacon => "ble-beacon",
+        TechType::WifiMulticast => "wifi-multicast",
+        TechType::WifiTcp => "wifi-tcp",
+        TechType::Nfc => "nfc",
+    }
+}
+
+/// Label of a technology's private send queue.
+fn send_queue_label(ty: TechType) -> &'static str {
+    match ty {
+        TechType::BleBeacon => "send-ble-beacon",
+        TechType::WifiMulticast => "send-wifi-multicast",
+        TechType::WifiTcp => "send-wifi-tcp",
+        TechType::Nfc => "send-nfc",
+    }
+}
+
+/// Cached manager-level instruments (no registry lookups on hot paths).
+struct MgrObs {
+    obs: Obs,
+    node: u32,
+    peers: Gauge,
+    contexts: Gauge,
+    engaged: Gauge,
+    beacon_interval_us: Gauge,
+    beacons_rx: Counter,
+    data_enqueued: Counter,
+    data_sent: Counter,
+    data_delivered: Counter,
+    data_failed: Counter,
+    data_fallbacks: Counter,
+    context_ops: Counter,
+    /// Fresh-peer snapshot from the previous engagement evaluation, for
+    /// `PeerExpired` detection (independent of the adaptive-beacon state).
+    fresh_prev: BTreeSet<OmniAddress>,
+}
+
+impl MgrObs {
+    fn new(obs: &Obs, node: u32) -> Self {
+        MgrObs {
+            obs: obs.clone(),
+            node,
+            peers: obs.gauge("mgr.peers"),
+            contexts: obs.gauge("mgr.contexts"),
+            engaged: obs.gauge("mgr.engaged_techs"),
+            beacon_interval_us: obs.gauge("mgr.beacon_interval_us"),
+            beacons_rx: obs.counter("mgr.beacons_rx"),
+            data_enqueued: obs.counter("mgr.data_enqueued"),
+            data_sent: obs.counter("mgr.data_sent"),
+            data_delivered: obs.counter("mgr.data_delivered"),
+            data_failed: obs.counter("mgr.data_failed"),
+            data_fallbacks: obs.counter("mgr.data_fallbacks"),
+            context_ops: obs.counter("mgr.context_ops"),
+            fresh_prev: BTreeSet::new(),
+        }
+    }
+
+    fn event(&self, now: SimTime, kind: EventKind) {
+        self.obs.event(now.as_micros(), self.node, kind);
+    }
+}
+
 struct TechSlot {
     tech: Box<dyn D2dTechnology>,
     send: SharedQueue<SendRequest>,
@@ -65,7 +135,7 @@ enum CtxOp {
 
 enum Pending {
     Context { op: CtxOp, id: u64, cb: Option<SharedCb>, remaining: Vec<TechType> },
-    Data { dest: OmniAddress, cb: Option<SharedCb>, remaining: Vec<Candidate> },
+    Data { dest: OmniAddress, cb: Option<SharedCb>, remaining: Vec<Candidate>, wire_len: u64 },
 }
 
 struct ContextEntry {
@@ -106,6 +176,9 @@ pub struct OmniManager {
     /// Fresh-peer snapshot from the previous engagement evaluation (drives
     /// the adaptive beacon policy).
     last_fresh_peers: BTreeSet<OmniAddress>,
+    /// Manager-level observability instruments, present when
+    /// [`OmniConfig::obs`] is set.
+    mgr_obs: Option<MgrObs>,
 }
 
 impl std::fmt::Debug for OmniManager {
@@ -124,17 +197,32 @@ impl OmniManager {
     /// Creates a manager for the device with the given unified address and
     /// pluggable technologies.
     pub fn new(own: OmniAddress, cfg: OmniConfig, techs: Vec<Box<dyn D2dTechnology>>) -> Self {
-        let receive = SharedQueue::new();
-        let response = SharedQueue::new();
+        let node = own.as_u64() as u32;
+        fn mk_queue<T>(cfg: &OmniConfig, label: &'static str, node: u32) -> SharedQueue<T> {
+            let q = match cfg.queue_capacity {
+                Some(n) => SharedQueue::bounded(n),
+                None => SharedQueue::new(),
+            };
+            match &cfg.obs {
+                Some(obs) => q.instrumented(obs, label, node),
+                None => q,
+            }
+        }
+        let receive = mk_queue(&cfg, "receive", node);
+        let response = mk_queue(&cfg, "response", node);
         let cfg_cipher = cfg.context_key.map(|key| ContextCipher::new(key, own.as_u64()));
-        let beacon_interval = cfg
-            .adaptive_beacon
-            .map(|p| p.min)
-            .unwrap_or(cfg.beacon_interval);
+        let beacon_interval = cfg.adaptive_beacon.map(|p| p.min).unwrap_or(cfg.beacon_interval);
         let techs = techs
             .into_iter()
-            .map(|tech| TechSlot { ty: tech.tech_type(), tech, send: SharedQueue::new(), addr: None })
+            .map(|mut tech| {
+                if let Some(obs) = &cfg.obs {
+                    tech.attach_obs(obs);
+                }
+                let ty = tech.tech_type();
+                TechSlot { ty, tech, send: mk_queue(&cfg, send_queue_label(ty), node), addr: None }
+            })
             .collect();
+        let mgr_obs = cfg.obs.as_ref().map(|obs| MgrObs::new(obs, node));
         OmniManager {
             own,
             cfg,
@@ -159,6 +247,7 @@ impl OmniManager {
             relay_seen: HashMap::new(),
             beacon_interval_current: beacon_interval,
             last_fresh_peers: BTreeSet::new(),
+            mgr_obs,
         }
     }
 
@@ -254,6 +343,14 @@ impl OmniManager {
                     Vec::new(),
                 );
             }
+        }
+        if let Some(m) = &self.mgr_obs {
+            for &tech in &self.engaged {
+                m.event(api.now, EventKind::TechEngaged { tech: tech_label(tech) });
+            }
+            m.engaged.set(self.engaged.len() as i64);
+            m.contexts.set(self.contexts.len() as i64);
+            m.beacon_interval_us.set(self.beacon_interval_current.as_micros() as i64);
         }
         api.set_timer(MGR_TIMER_ENGAGE, self.cfg.engagement_check);
         self.pump(api);
@@ -370,7 +467,14 @@ impl OmniManager {
         self.timer_cbs = cbs;
     }
 
-    fn fire_infra(&mut self, req: u64, chunk: u64, received: u64, done: bool, now: omni_sim::SimTime) {
+    fn fire_infra(
+        &mut self,
+        req: u64,
+        chunk: u64,
+        received: u64,
+        done: bool,
+        now: omni_sim::SimTime,
+    ) {
         let mut cbs = std::mem::take(&mut self.infra_cbs);
         for cb in cbs.iter_mut() {
             let mut ctl = crate::api::OmniCtl::at(now);
@@ -386,7 +490,14 @@ impl OmniManager {
             return; // our own echo
         }
         let now = api.now;
+        let is_new_peer = self.peers.get(item.packed.source).is_none();
         self.peers.observe(item.packed.source, item.tech, item.source, now);
+        if let Some(m) = &self.mgr_obs {
+            m.peers.set(self.peers.len() as i64);
+            if is_new_peer {
+                m.event(now, EventKind::PeerDiscovered { peer: item.packed.source.as_u64() });
+            }
+        }
         match item.packed.kind {
             ContentKind::AddressBeacon => {
                 // Authenticate/decrypt first (paper §3.4): beacons that are
@@ -396,6 +507,16 @@ impl OmniManager {
                     return;
                 };
                 if let Ok(beacon) = omni_wire::AddressBeaconPayload::decode(&plain) {
+                    if let Some(m) = &self.mgr_obs {
+                        m.beacons_rx.inc();
+                        m.event(
+                            now,
+                            EventKind::BeaconReceived {
+                                tech: tech_label(item.tech),
+                                peer: item.packed.source.as_u64(),
+                            },
+                        );
+                    }
                     // Middleware that does not integrate low-level neighbor
                     // discovery cannot treat beacon-carried mesh addresses
                     // as connectable (SA ablation).
@@ -417,6 +538,16 @@ impl OmniManager {
             ContentKind::Data => {
                 let src = item.packed.source;
                 let payload = item.packed.payload.clone();
+                if let Some(m) = &self.mgr_obs {
+                    m.data_delivered.inc();
+                    m.event(
+                        now,
+                        EventKind::DataDelivered {
+                            peer: src.as_u64(),
+                            bytes: payload.len() as u64,
+                        },
+                    );
+                }
                 let mut cbs = std::mem::take(&mut self.data_cbs);
                 for cb in cbs.iter_mut() {
                     let mut ctl = crate::api::OmniCtl::at(now);
@@ -469,7 +600,13 @@ impl OmniManager {
     /// Rebroadcasts a context pack on every engaged context technology,
     /// deduplicating per (origin, payload) within one beacon interval so
     /// periodic packs are relayed once per period, not once per copy heard.
-    fn relay_context(&mut self, origin: OmniAddress, inner: &Bytes, ttl: u8, api: &mut NodeApi<'_>) {
+    fn relay_context(
+        &mut self,
+        origin: OmniAddress,
+        inner: &Bytes,
+        ttl: u8,
+        api: &mut NodeApi<'_>,
+    ) {
         const RELAY_TAG: u8 = 0xE7;
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in inner.iter() {
@@ -500,7 +637,11 @@ impl OmniManager {
         for tech in engaged {
             let token = self.alloc_token();
             if let Some(q) = self.queue_of(tech) {
-                q.push(SendRequest { token, op: SendOp::RelayContext, packed: Some(packed.clone()) });
+                q.push(SendRequest {
+                    token,
+                    op: SendOp::RelayContext,
+                    packed: Some(packed.clone()),
+                });
             }
         }
     }
@@ -553,8 +694,15 @@ impl OmniManager {
                     }
                 }
             },
-            Pending::Data { dest, cb, mut remaining } => match result {
+            Pending::Data { dest, cb, mut remaining, wire_len } => match result {
                 Ok(ResponseOk::DataSent { dest_omni }) => {
+                    if let Some(m) = &self.mgr_obs {
+                        m.data_sent.inc();
+                        m.event(
+                            api.now,
+                            EventKind::DataSent { tech: tech_label(tech), bytes: wire_len },
+                        );
+                    }
                     if let Some(cb) = cb {
                         self.deferred.push_back((
                             cb,
@@ -572,6 +720,10 @@ impl OmniManager {
                         failure.description
                     ));
                     if remaining.is_empty() {
+                        if let Some(m) = &self.mgr_obs {
+                            m.data_failed.inc();
+                            m.event(api.now, EventKind::DataFailed { tech: tech_label(tech) });
+                        }
                         // "Only at this point is the status_callback provided
                         // by the application employed" (paper §3.3).
                         if let Some(cb) = cb {
@@ -582,13 +734,16 @@ impl OmniManager {
                             self.deferred.push_back((cb, StatusCode::SendDataFailure, info));
                         }
                     } else {
+                        if let Some(m) = &self.mgr_obs {
+                            m.data_fallbacks.inc();
+                        }
                         let next = remaining.remove(0);
                         let packed = failure.original.packed;
                         let wire_len = match failure.original.op {
                             SendOp::SendData { wire_len, .. } => wire_len,
                             _ => 0,
                         };
-                        self.submit_data(dest, packed, wire_len, next, remaining, cb);
+                        self.submit_data(dest, packed, wire_len, next, remaining, cb, api.now);
                     }
                 }
             },
@@ -610,6 +765,11 @@ impl OmniManager {
                     id,
                     ContextEntry { params, payload: packed.clone(), carried: self.engaged.clone() },
                 );
+                if let Some(m) = &self.mgr_obs {
+                    m.context_ops.inc();
+                    m.contexts.set(self.contexts.len() as i64);
+                    m.event(api.now, EventKind::ContextUpdated { id });
+                }
                 let cb: SharedCb = Rc::new(RefCell::new(status));
                 let mut engaged: Vec<TechType> = self.engaged.iter().copied().collect();
                 // Fallback candidates: enabled context technologies not
@@ -632,9 +792,25 @@ impl OmniManager {
                     return;
                 }
                 let first = engaged.remove(0);
-                self.submit_context(first, CtxOp::Add, id, params.interval, Some(packed.clone()), Some(cb), fallbacks);
+                self.submit_context(
+                    first,
+                    CtxOp::Add,
+                    id,
+                    params.interval,
+                    Some(packed.clone()),
+                    Some(cb),
+                    fallbacks,
+                );
                 for t in engaged {
-                    self.submit_context(t, CtxOp::Add, id, params.interval, Some(packed.clone()), None, Vec::new());
+                    self.submit_context(
+                        t,
+                        CtxOp::Add,
+                        id,
+                        params.interval,
+                        Some(packed.clone()),
+                        None,
+                        Vec::new(),
+                    );
                 }
             }
             ApiCall::UpdateContext { id, params, context, status } => {
@@ -656,9 +832,21 @@ impl OmniManager {
                 entry.params = params;
                 entry.payload = packed.clone();
                 let carried: Vec<TechType> = entry.carried.iter().copied().collect();
+                if let Some(m) = &self.mgr_obs {
+                    m.context_ops.inc();
+                    m.event(api.now, EventKind::ContextUpdated { id });
+                }
                 let mut first_cb = Some(cb);
                 for t in carried {
-                    self.submit_context(t, CtxOp::Update, id, params.interval, Some(packed.clone()), first_cb.take(), Vec::new());
+                    self.submit_context(
+                        t,
+                        CtxOp::Update,
+                        id,
+                        params.interval,
+                        Some(packed.clone()),
+                        first_cb.take(),
+                        Vec::new(),
+                    );
                 }
                 if let Some(cb) = first_cb {
                     // Carried nowhere (all technologies failed earlier).
@@ -687,9 +875,22 @@ impl OmniManager {
                 }
                 match self.contexts.remove(&id) {
                     Some(entry) => {
+                        if let Some(m) = &self.mgr_obs {
+                            m.context_ops.inc();
+                            m.contexts.set(self.contexts.len() as i64);
+                            m.event(api.now, EventKind::ContextUpdated { id });
+                        }
                         let mut first_cb = Some(cb);
                         for t in entry.carried {
-                            self.submit_context(t, CtxOp::Remove, id, entry.params.interval, None, first_cb.take(), Vec::new());
+                            self.submit_context(
+                                t,
+                                CtxOp::Remove,
+                                id,
+                                entry.params.interval,
+                                None,
+                                first_cb.take(),
+                                Vec::new(),
+                            );
                         }
                         if let Some(cb) = first_cb {
                             self.deferred.push_back((
@@ -793,7 +994,7 @@ impl OmniManager {
         }
         let first = cands.remove(0);
         let packed = PackedStruct::data(self.own, data);
-        self.submit_data(dest, Some(packed), total_len, first, cands, Some(cb));
+        self.submit_data(dest, Some(packed), total_len, first, cands, Some(cb), api.now);
     }
 
     // ------------------------------------------------------------------
@@ -873,6 +1074,7 @@ impl OmniManager {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit_data(
         &mut self,
         dest: OmniAddress,
@@ -881,9 +1083,17 @@ impl OmniManager {
         candidate: Candidate,
         remaining: Vec<Candidate>,
         cb: Option<SharedCb>,
+        now: SimTime,
     ) {
+        if let Some(m) = &self.mgr_obs {
+            m.data_enqueued.inc();
+            m.event(
+                now,
+                EventKind::DataEnqueued { tech: tech_label(candidate.tech), bytes: wire_len },
+            );
+        }
         let token = self.alloc_token();
-        self.pending.insert(token, Pending::Data { dest, cb, remaining });
+        self.pending.insert(token, Pending::Data { dest, cb, remaining, wire_len });
         let op = SendOp::SendData {
             dest: candidate.dest,
             dest_omni: dest,
@@ -925,11 +1135,11 @@ impl OmniManager {
         if target == current {
             return;
         }
-        api.trace(format!(
-            "omni: adaptive beacon interval {} -> {}",
-            current, target
-        ));
+        api.trace(format!("omni: adaptive beacon interval {} -> {}", current, target));
         self.beacon_interval_current = target;
+        if let Some(m) = &self.mgr_obs {
+            m.beacon_interval_us.set(target.as_micros() as i64);
+        }
         if let Some(entry) = self.contexts.get_mut(&ADDRESS_BEACON_CONTEXT_ID) {
             entry.params.interval = target;
             let payload = entry.payload.clone();
@@ -950,6 +1160,18 @@ impl OmniManager {
 
     fn evaluate_engagement(&mut self, api: &mut NodeApi<'_>) {
         self.adapt_beacon_interval(api);
+        if let Some(m) = self.mgr_obs.as_mut() {
+            let fresh: BTreeSet<OmniAddress> =
+                self.peers.fresh_peers(api.now, self.cfg.peer_ttl).into_iter().collect();
+            for &gone in m.fresh_prev.difference(&fresh) {
+                m.obs.event(
+                    api.now.as_micros(),
+                    m.node,
+                    EventKind::PeerExpired { peer: gone.as_u64() },
+                );
+            }
+            m.fresh_prev = fresh;
+        }
         if self.cfg.advertise_on_all_techs {
             return; // SA paradigm: everything is always engaged
         }
@@ -965,16 +1187,20 @@ impl OmniManager {
             let engaged = self.engaged.contains(&t);
             if needed && !engaged {
                 api.trace(format!("omni: engaging context technology {t}"));
-                self.engage(t);
+                self.engage(t, now);
             } else if !needed && engaged {
                 api.trace(format!("omni: disengaging context technology {t}"));
-                self.disengage(t);
+                self.disengage(t, now);
             }
         }
     }
 
-    fn engage(&mut self, tech: TechType) {
+    fn engage(&mut self, tech: TechType, now: SimTime) {
         self.engaged.insert(tech);
+        if let Some(m) = &self.mgr_obs {
+            m.engaged.set(self.engaged.len() as i64);
+            m.event(now, EventKind::TechEngaged { tech: tech_label(tech) });
+        }
         let mut items: Vec<(u64, SimDuration, PackedStruct)> = self
             .contexts
             .iter()
@@ -990,8 +1216,12 @@ impl OmniManager {
         }
     }
 
-    fn disengage(&mut self, tech: TechType) {
+    fn disengage(&mut self, tech: TechType, now: SimTime) {
         self.engaged.remove(&tech);
+        if let Some(m) = &self.mgr_obs {
+            m.engaged.set(self.engaged.len() as i64);
+            m.event(now, EventKind::TechDisengaged { tech: tech_label(tech) });
+        }
         let mut items: Vec<(u64, SimDuration)> = self
             .contexts
             .iter()

@@ -41,10 +41,7 @@ pub struct PeerRecord {
 impl PeerRecord {
     /// Whether this peer was heard on `tech` within `ttl` of `now`.
     pub fn fresh_on(&self, tech: TechType, now: SimTime, ttl: SimDuration) -> bool {
-        self.seen
-            .get(&tech)
-            .map(|(_, at)| now.saturating_since(*at) <= ttl)
-            .unwrap_or(false)
+        self.seen.get(&tech).map(|(_, at)| now.saturating_since(*at) <= ttl).unwrap_or(false)
     }
 
     /// The most recent sighting on any technology.
@@ -145,7 +142,12 @@ impl PeerMap {
     }
 
     /// Fresh, directly connectable mesh address of a peer.
-    pub fn mesh_direct(&self, omni: OmniAddress, now: SimTime, ttl: SimDuration) -> Option<MeshAddress> {
+    pub fn mesh_direct(
+        &self,
+        omni: OmniAddress,
+        now: SimTime,
+        ttl: SimDuration,
+    ) -> Option<MeshAddress> {
         let rec = self.peers.get(&omni)?;
         if fresh(&rec.mesh_direct, now, ttl) {
             rec.mesh_direct.map(|(m, _)| m)
@@ -202,10 +204,7 @@ mod tests {
     fn beacon_over_multicast_is_not_connectable() {
         let mut m = PeerMap::new();
         let p = OmniAddress::from_u64(1);
-        let beacon = AddressBeaconPayload {
-            mesh: Some(MeshAddress::from_u64(0xB2)),
-            ble: None,
-        };
+        let beacon = AddressBeaconPayload { mesh: Some(MeshAddress::from_u64(0xB2)), ble: None };
         m.observe_beacon(p, &beacon, TechType::WifiMulticast, t(0));
         assert_eq!(m.mesh_direct(p, t(100), TTL), None);
         assert!(m.get(p).unwrap().mesh_mcast.is_some());
@@ -230,8 +229,18 @@ mod tests {
     #[test]
     fn fresh_peers_filters_stale_entries() {
         let mut m = PeerMap::new();
-        m.observe(OmniAddress::from_u64(1), TechType::BleBeacon, LowAddr::Ble(BleAddress([1; 6])), t(0));
-        m.observe(OmniAddress::from_u64(2), TechType::BleBeacon, LowAddr::Ble(BleAddress([2; 6])), t(5_000));
+        m.observe(
+            OmniAddress::from_u64(1),
+            TechType::BleBeacon,
+            LowAddr::Ble(BleAddress([1; 6])),
+            t(0),
+        );
+        m.observe(
+            OmniAddress::from_u64(2),
+            TechType::BleBeacon,
+            LowAddr::Ble(BleAddress([2; 6])),
+            t(5_000),
+        );
         assert_eq!(m.fresh_peers(t(5_500), TTL), vec![OmniAddress::from_u64(2)]);
         assert_eq!(m.len(), 2);
     }
@@ -241,7 +250,12 @@ mod tests {
         let mut m = PeerMap::new();
         let only_mcast = OmniAddress::from_u64(1);
         let both = OmniAddress::from_u64(2);
-        m.observe(only_mcast, TechType::WifiMulticast, LowAddr::Mesh(MeshAddress::from_u64(1)), t(0));
+        m.observe(
+            only_mcast,
+            TechType::WifiMulticast,
+            LowAddr::Mesh(MeshAddress::from_u64(1)),
+            t(0),
+        );
         m.observe(both, TechType::WifiMulticast, LowAddr::Mesh(MeshAddress::from_u64(2)), t(0));
         m.observe(both, TechType::BleBeacon, LowAddr::Ble(BleAddress([2; 6])), t(0));
         // A peer is reachable only via multicast → multicast is needed.

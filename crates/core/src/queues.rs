@@ -10,10 +10,19 @@
 //! Queues are `parking_lot`-guarded deques behind `Arc`, so they could be
 //! shared with real technology threads unchanged; in the simulation both
 //! sides are polled from the event loop.
+//!
+//! Queues are unbounded by default ([`SharedQueue::new`]); callers that need
+//! backpressure build them with [`SharedQueue::bounded`], which drops the
+//! *oldest* element to admit a new one and counts the drops. Attaching an
+//! [`Obs`] handle ([`SharedQueue::instrumented`]) additionally exports a
+//! depth gauge, an enqueue→dequeue wait histogram, a drop counter, and a
+//! [`EventKind::QueueDropped`] event per drop.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
+use omni_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use omni_wire::{BleAddress, MeshAddress, NfcAddress, OmniAddress, PackedStruct, TechType};
 use parking_lot::Mutex;
 
@@ -44,15 +53,39 @@ impl std::fmt::Display for LowAddr {
     }
 }
 
+/// Observability attachment for a queue: metric handles plus what is needed
+/// to stamp [`EventKind::QueueDropped`] events (the label, the owning node,
+/// and a wall-clock epoch).
+#[derive(Debug)]
+struct QueueInstr {
+    depth: Gauge,
+    dropped: Counter,
+    wait_us: Histogram,
+    obs: Obs,
+    label: &'static str,
+    node: u32,
+    epoch: Instant,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    /// Items paired with their enqueue instant (stamped only when
+    /// instrumented, so the uninstrumented path never reads the clock).
+    items: VecDeque<(T, Option<Instant>)>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
 /// A multi-producer multi-consumer FIFO shared by reference.
 #[derive(Debug)]
 pub struct SharedQueue<T> {
-    inner: Arc<Mutex<VecDeque<T>>>,
+    inner: Arc<Mutex<QueueInner<T>>>,
+    instr: Option<Arc<QueueInstr>>,
 }
 
 impl<T> Clone for SharedQueue<T> {
     fn clone(&self) -> Self {
-        SharedQueue { inner: Arc::clone(&self.inner) }
+        SharedQueue { inner: Arc::clone(&self.inner), instr: self.instr.clone() }
     }
 }
 
@@ -63,34 +96,114 @@ impl<T> Default for SharedQueue<T> {
 }
 
 impl<T> SharedQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty, unbounded queue.
     pub fn new() -> Self {
-        SharedQueue { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        SharedQueue {
+            inner: Arc::new(Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                capacity: None,
+                dropped: 0,
+            })),
+            instr: None,
+        }
     }
 
-    /// Appends an item.
+    /// Creates an empty queue holding at most `capacity` items (minimum 1).
+    /// When full, a push evicts the *oldest* item — newest data wins, which
+    /// is the right policy for discovery and status traffic.
+    pub fn bounded(capacity: usize) -> Self {
+        let q = Self::new();
+        q.inner.lock().capacity = Some(capacity.max(1));
+        q
+    }
+
+    /// Attaches observability: exports `queue.<label>.depth`,
+    /// `queue.<label>.dropped`, and `queue.<label>.wait_us`, and records a
+    /// [`EventKind::QueueDropped`] per evicted item (stamped with wall-clock
+    /// microseconds since this call). `node` identifies the owning device.
+    pub fn instrumented(mut self, obs: &Obs, label: &'static str, node: u32) -> Self {
+        self.instr = Some(Arc::new(QueueInstr {
+            depth: obs.gauge(&format!("queue.{label}.depth")),
+            dropped: obs.counter(&format!("queue.{label}.dropped")),
+            wait_us: obs.histogram(&format!("queue.{label}.wait_us")),
+            obs: obs.clone(),
+            label,
+            node,
+            epoch: Instant::now(),
+        }));
+        self
+    }
+
+    /// Appends an item; on a full bounded queue the oldest item is dropped.
     pub fn push(&self, item: T) {
-        self.inner.lock().push_back(item);
+        let stamp = self.instr.as_ref().map(|_| Instant::now());
+        let mut inner = self.inner.lock();
+        if let Some(cap) = inner.capacity {
+            if inner.items.len() >= cap {
+                inner.items.pop_front();
+                inner.dropped += 1;
+                if let Some(i) = &self.instr {
+                    i.dropped.inc();
+                    i.obs.event(
+                        i.epoch.elapsed().as_micros() as u64,
+                        i.node,
+                        EventKind::QueueDropped { queue: i.label },
+                    );
+                }
+            }
+        }
+        inner.items.push_back((item, stamp));
+        if let Some(i) = &self.instr {
+            i.depth.set(inner.items.len() as i64);
+        }
     }
 
     /// Removes and returns the oldest item.
     pub fn pop(&self) -> Option<T> {
-        self.inner.lock().pop_front()
+        let mut inner = self.inner.lock();
+        let (item, stamp) = inner.items.pop_front()?;
+        if let Some(i) = &self.instr {
+            i.depth.set(inner.items.len() as i64);
+            if let Some(t0) = stamp {
+                i.wait_us.record(t0.elapsed().as_micros() as u64);
+            }
+        }
+        Some(item)
     }
 
     /// Number of queued items.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().items.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().items.is_empty()
     }
 
     /// Drains everything currently queued.
     pub fn drain(&self) -> Vec<T> {
-        self.inner.lock().drain(..).collect()
+        let mut inner = self.inner.lock();
+        let drained: Vec<(T, Option<Instant>)> = inner.items.drain(..).collect();
+        if let Some(i) = &self.instr {
+            i.depth.set(0);
+            for (_, stamp) in &drained {
+                if let Some(t0) = stamp {
+                    i.wait_us.record(t0.elapsed().as_micros() as u64);
+                }
+            }
+        }
+        drained.into_iter().map(|(item, _)| item).collect()
+    }
+
+    /// Maximum number of items, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().capacity
+    }
+
+    /// Number of items evicted because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
     }
 }
 
@@ -266,6 +379,49 @@ mod tests {
     fn shared_queue_is_send_and_sync() {
         fn assert_bounds<T: Send + Sync>() {}
         assert_bounds::<SharedQueue<SendRequest>>();
+    }
+
+    #[test]
+    fn unbounded_queue_never_drops() {
+        let q = SharedQueue::new();
+        for i in 0..10_000 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10_000);
+        assert_eq!(q.dropped(), 0);
+        assert_eq!(q.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest() {
+        let q = SharedQueue::bounded(3);
+        for i in 0..5 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.drain(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn instrumented_queue_exports_depth_drops_and_waits() {
+        let obs = Obs::new();
+        let q = SharedQueue::bounded(2).instrumented(&obs, "receive", 7);
+        q.push("a");
+        q.push("b");
+        assert_eq!(obs.gauge("queue.receive.depth").get(), 2);
+        q.push("c"); // evicts "a"
+        assert_eq!(obs.counter("queue.receive.dropped").get(), 1);
+        let events = obs.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].node, 7);
+        assert_eq!(events[0].kind, EventKind::QueueDropped { queue: "receive" });
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(obs.gauge("queue.receive.depth").get(), 1);
+        assert_eq!(obs.histogram("queue.receive.wait_us").count(), 1);
+        q.drain();
+        assert_eq!(obs.gauge("queue.receive.depth").get(), 0);
+        assert_eq!(obs.histogram("queue.receive.wait_us").count(), 2);
     }
 
     #[test]

@@ -222,8 +222,14 @@ mod tests {
 
     #[test]
     fn passphrase_keys_are_stable_and_distinct() {
-        assert_eq!(GroupKey::from_passphrase("tour-group-7"), GroupKey::from_passphrase("tour-group-7"));
-        assert_ne!(GroupKey::from_passphrase("tour-group-7"), GroupKey::from_passphrase("tour-group-8"));
+        assert_eq!(
+            GroupKey::from_passphrase("tour-group-7"),
+            GroupKey::from_passphrase("tour-group-7")
+        );
+        assert_ne!(
+            GroupKey::from_passphrase("tour-group-7"),
+            GroupKey::from_passphrase("tour-group-8")
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub struct Candidate {
 /// `enabled` lists the technologies this device currently has enabled;
 /// `has_session` reports whether a technology already holds an open session
 /// to the given address (sessions skip connection formation).
+#[allow(clippy::too_many_arguments)]
 pub fn candidates(
     target: OmniAddress,
     record: &PeerRecord,

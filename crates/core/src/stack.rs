@@ -17,6 +17,7 @@ use crate::techs::{BleBeaconTech, NfcTech, WifiMulticastTech, WifiTcpTech};
 /// booting against the paper's `OmniManager` singleton.
 pub struct OmniStack {
     manager: OmniManager,
+    #[allow(clippy::type_complexity)]
     init: Option<Box<dyn FnOnce(&mut OmniCtl)>>,
 }
 
@@ -72,7 +73,13 @@ pub struct OmniBuilder {
 
 impl Default for OmniBuilder {
     fn default() -> Self {
-        OmniBuilder { cfg: OmniConfig::default(), ble: false, wifi: false, nfc: false, ble_scan_duty: 1.0 }
+        OmniBuilder {
+            cfg: OmniConfig::default(),
+            ble: false,
+            wifi: false,
+            nfc: false,
+            ble_scan_duty: 1.0,
+        }
     }
 }
 
@@ -115,6 +122,16 @@ impl OmniBuilder {
         self
     }
 
+    /// Attaches an observability handle: the built manager exports metrics
+    /// and structured events to `obs`, instruments its shared queues, and
+    /// hands the handle to every technology. Share one handle across devices
+    /// (and the [`omni_sim::Runner`] via `set_obs`) to get a fleet-wide
+    /// snapshot.
+    pub fn with_obs(mut self, obs: &omni_obs::Obs) -> Self {
+        self.cfg.obs = Some(obs.clone());
+        self
+    }
+
     /// Overrides the BLE neighbor-discovery scanning duty cycle.
     pub fn ble_scan_duty(mut self, duty: f64) -> Self {
         self.ble_scan_duty = duty;
@@ -146,7 +163,11 @@ impl OmniBuilder {
             )));
         }
         if self.wifi {
-            techs.push(Box::new(WifiMulticastTech::new(own, runner.mesh_addr(dev), timings.clone())));
+            techs.push(Box::new(WifiMulticastTech::new(
+                own,
+                runner.mesh_addr(dev),
+                timings.clone(),
+            )));
             techs.push(Box::new(WifiTcpTech::new(own, runner.mesh_addr(dev), timings.clone())));
         }
         if self.nfc {

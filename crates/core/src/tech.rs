@@ -9,6 +9,7 @@
 //! threaded prototype both correspond to the technology's private thread
 //! loop.
 
+use omni_obs::Obs;
 use omni_sim::{NodeApi, NodeEvent};
 use omni_wire::TechType;
 
@@ -51,5 +52,12 @@ pub trait D2dTechnology {
     fn has_session(&self, addr: &LowAddr) -> bool {
         let _ = addr;
         false
+    }
+
+    /// Offers an observability handle before `enable`. Technologies that
+    /// export metrics (request/failure counters) keep a clone; the default
+    /// implementation ignores it, so existing technologies need no changes.
+    fn attach_obs(&mut self, obs: &Obs) {
+        let _ = obs;
     }
 }

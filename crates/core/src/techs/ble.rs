@@ -35,13 +35,20 @@ pub struct BleBeaconTech {
     /// `None` marks fire-and-forget relay broadcasts.
     inflight: VecDeque<Option<SendRequest>>,
     enabled: bool,
+    /// `tech.ble-beacon.failures` counter, when observability is attached.
+    failures: Option<omni_obs::Counter>,
 }
 
 impl BleBeaconTech {
     /// Creates the technology for a device with the given identity and
     /// advertisement payload limit. `scan_duty` is the neighbor-discovery
     /// scanning duty cycle (Omni uses 1.0: continuous, integrated discovery).
-    pub fn new(own_omni: OmniAddress, own_addr: BleAddress, max_payload: usize, scan_duty: f64) -> Self {
+    pub fn new(
+        own_omni: OmniAddress,
+        own_addr: BleAddress,
+        max_payload: usize,
+        scan_duty: f64,
+    ) -> Self {
         BleBeaconTech {
             own_omni,
             own_addr,
@@ -52,6 +59,7 @@ impl BleBeaconTech {
             next_slot: 0,
             inflight: VecDeque::new(),
             enabled: false,
+            failures: None,
         }
     }
 
@@ -60,6 +68,9 @@ impl BleBeaconTech {
     }
 
     fn fail(&self, token: u64, description: impl Into<String>, original: SendRequest) {
+        if let Some(c) = &self.failures {
+            c.inc();
+        }
         self.respond(TechResponse::Outcome {
             tech: TechType::BleBeacon,
             token,
@@ -68,16 +79,13 @@ impl BleBeaconTech {
     }
 
     fn ok(&self, token: u64, ok: ResponseOk) {
-        self.respond(TechResponse::Outcome {
-            tech: TechType::BleBeacon,
-            token,
-            result: Ok(ok),
-        });
+        self.respond(TechResponse::Outcome { tech: TechType::BleBeacon, token, result: Ok(ok) });
     }
 
     fn handle_request(&mut self, req: SendRequest, api: &mut NodeApi<'_>) {
         match req.op.clone() {
-            SendOp::AddContext { context_id, interval } | SendOp::UpdateContext { context_id, interval } => {
+            SendOp::AddContext { context_id, interval }
+            | SendOp::UpdateContext { context_id, interval } => {
                 let is_update = matches!(req.op, SendOp::UpdateContext { .. });
                 let Some(packed) = req.packed.clone() else {
                     self.fail(req.token, "context request without payload", req);
@@ -113,17 +121,15 @@ impl BleBeaconTech {
                     }
                 }
             }
-            SendOp::RemoveContext { context_id } => {
-                match self.slots.remove(&context_id) {
-                    Some(slot) => {
-                        api.push(Command::BleAdvertiseStop { slot });
-                        self.ok(req.token, ResponseOk::ContextRemoved { context_id });
-                    }
-                    None => {
-                        self.fail(req.token, format!("unknown context {context_id}"), req);
-                    }
+            SendOp::RemoveContext { context_id } => match self.slots.remove(&context_id) {
+                Some(slot) => {
+                    api.push(Command::BleAdvertiseStop { slot });
+                    self.ok(req.token, ResponseOk::ContextRemoved { context_id });
                 }
-            }
+                None => {
+                    self.fail(req.token, format!("unknown context {context_id}"), req);
+                }
+            },
             SendOp::SendData { dest, dest_omni, .. } => {
                 let LowAddr::Ble(_) = dest else {
                     self.fail(req.token, "destination has no BLE address", req);
@@ -163,6 +169,10 @@ impl BleBeaconTech {
 }
 
 impl D2dTechnology for BleBeaconTech {
+    fn attach_obs(&mut self, obs: &omni_obs::Obs) {
+        self.failures = Some(obs.counter("tech.ble-beacon.failures"));
+    }
+
     fn enable(
         &mut self,
         queues: TechQueues,
@@ -190,7 +200,10 @@ impl D2dTechnology for BleBeaconTech {
                     self.fail(req.token, "technology disabled", req);
                 }
             }
-            self.respond(TechResponse::StatusChanged { tech: TechType::BleBeacon, available: false });
+            self.respond(TechResponse::StatusChanged {
+                tech: TechType::BleBeacon,
+                available: false,
+            });
         }
         for (_, slot) in self.slots.drain() {
             api.push(Command::BleAdvertiseStop { slot });
@@ -249,12 +262,8 @@ mod tests {
     }
 
     fn mk() -> (BleBeaconTech, TechQueues) {
-        let tech = BleBeaconTech::new(
-            OmniAddress::from_u64(1),
-            BleAddress([2, 0, 0, 0, 0, 1]),
-            64,
-            1.0,
-        );
+        let tech =
+            BleBeaconTech::new(OmniAddress::from_u64(1), BleAddress([2, 0, 0, 0, 0, 1]), 64, 1.0);
         let queues = TechQueues {
             receive: crate::queues::SharedQueue::new(),
             response: crate::queues::SharedQueue::new(),
@@ -263,7 +272,10 @@ mod tests {
         (tech, queues)
     }
 
-    fn with_api<R>(cmds: &mut Vec<(DeviceId, Command)>, f: impl FnOnce(&mut NodeApi<'_>) -> R) -> R {
+    fn with_api<R>(
+        cmds: &mut Vec<(DeviceId, Command)>,
+        f: impl FnOnce(&mut NodeApi<'_>) -> R,
+    ) -> R {
         let mut api = NodeApi::detached(DeviceId(0), SimTime::ZERO, cmds);
         f(&mut api)
     }
@@ -275,7 +287,9 @@ mod tests {
         let (ty, addr) = with_api(&mut cmds, |api| tech.enable(queues, 0, api));
         assert_eq!(ty, TechType::BleBeacon);
         assert!(matches!(addr, LowAddr::Ble(_)));
-        assert!(cmds.iter().any(|(_, c)| matches!(c, Command::BleSetScan { duty: Some(d) } if *d == 1.0)));
+        assert!(cmds
+            .iter()
+            .any(|(_, c)| matches!(c, Command::BleSetScan { duty: Some(d) } if *d == 1.0)));
     }
 
     #[test]
@@ -288,12 +302,19 @@ mod tests {
         queues.send.push(SendRequest {
             token: 5,
             op: SendOp::AddContext { context_id: 1, interval: SimDuration::from_millis(500) },
-            packed: Some(PackedStruct::context(OmniAddress::from_u64(1), Bytes::from_static(b"svc"))),
+            packed: Some(PackedStruct::context(
+                OmniAddress::from_u64(1),
+                Bytes::from_static(b"svc"),
+            )),
         });
         with_api(&mut cmds, |api| tech.poll(api));
         assert!(cmds.iter().any(|(_, c)| matches!(c, Command::BleAdvertiseSet { .. })));
         match queues.response.pop() {
-            Some(TechResponse::Outcome { token: 5, result: Ok(ResponseOk::ContextAdded { context_id: 1 }), .. }) => {}
+            Some(TechResponse::Outcome {
+                token: 5,
+                result: Ok(ResponseOk::ContextAdded { context_id: 1 }),
+                ..
+            }) => {}
             other => panic!("unexpected response {other:?}"),
         }
     }
@@ -365,10 +386,9 @@ mod tests {
         });
         with_api(&mut cmds, |api| tech.disable(api));
         let responses = queues.response.drain();
-        assert!(responses.iter().any(|r| matches!(
-            r,
-            TechResponse::Outcome { token: 1, result: Err(_), .. }
-        )));
+        assert!(responses
+            .iter()
+            .any(|r| matches!(r, TechResponse::Outcome { token: 1, result: Err(_), .. })));
         assert!(responses
             .iter()
             .any(|r| matches!(r, TechResponse::StatusChanged { available: false, .. })));

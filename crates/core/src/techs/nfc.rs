@@ -42,6 +42,8 @@ pub struct NfcTech {
     next_slot: u64,
     data_inflight: HashMap<u64, SendRequest>,
     next_data_slot: u64,
+    /// `tech.nfc.failures` counter, when observability is attached.
+    failures: Option<omni_obs::Counter>,
 }
 
 impl NfcTech {
@@ -59,6 +61,7 @@ impl NfcTech {
             next_slot: 0,
             data_inflight: HashMap::new(),
             next_data_slot: 0,
+            failures: None,
         }
     }
 
@@ -71,6 +74,9 @@ impl NfcTech {
     }
 
     fn fail(&self, description: impl Into<String>, original: SendRequest) {
+        if let Some(c) = &self.failures {
+            c.inc();
+        }
         let token = original.token;
         self.respond(token, Err(TechFailure { description: description.into(), original }));
     }
@@ -94,7 +100,10 @@ impl NfcTech {
                     None => {
                         self.next_slot += 1;
                         self.slot_to_context.insert(self.next_slot, context_id);
-                        api.set_timer(self.token_base + TOKEN_CONTEXT_BASE + self.next_slot, interval);
+                        api.set_timer(
+                            self.token_base + TOKEN_CONTEXT_BASE + self.next_slot,
+                            interval,
+                        );
                         self.next_slot
                     }
                 };
@@ -147,6 +156,10 @@ impl NfcTech {
 }
 
 impl D2dTechnology for NfcTech {
+    fn attach_obs(&mut self, obs: &omni_obs::Obs) {
+        self.failures = Some(obs.counter("tech.nfc.failures"));
+    }
+
     fn enable(
         &mut self,
         queues: TechQueues,
@@ -220,7 +233,10 @@ impl D2dTechnology for NfcTech {
                     if let Some(id) = self.slot_to_context.get(&slot).copied() {
                         if let Some(ctx) = self.contexts.get(&id).cloned() {
                             api.push(Command::NfcSend { payload: ctx.payload.clone() });
-                            api.set_timer(self.token_base + TOKEN_CONTEXT_BASE + slot, ctx.interval);
+                            api.set_timer(
+                                self.token_base + TOKEN_CONTEXT_BASE + slot,
+                                ctx.interval,
+                            );
                         }
                     }
                     true
@@ -311,7 +327,11 @@ mod tests {
             assert!(tech.on_node_event(&NodeEvent::Timer { token }, api));
         });
         match queues.response.pop() {
-            Some(TechResponse::Outcome { token: 2, result: Ok(ResponseOk::DataSent { .. }), .. }) => {}
+            Some(TechResponse::Outcome {
+                token: 2,
+                result: Ok(ResponseOk::DataSent { .. }),
+                ..
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -47,6 +47,8 @@ pub struct WifiMulticastTech {
     data_inflight: HashMap<u64, SendRequest>,
     next_data_slot: u64,
     rescan_armed: bool,
+    /// `tech.wifi-multicast.failures` counter, when observability is attached.
+    failures: Option<omni_obs::Counter>,
 }
 
 impl WifiMulticastTech {
@@ -65,6 +67,7 @@ impl WifiMulticastTech {
             data_inflight: HashMap::new(),
             next_data_slot: 0,
             rescan_armed: false,
+            failures: None,
         }
     }
 
@@ -77,6 +80,9 @@ impl WifiMulticastTech {
     }
 
     fn fail(&self, token: u64, description: impl Into<String>, original: SendRequest) {
+        if let Some(c) = &self.failures {
+            c.inc();
+        }
         self.respond(token, Err(TechFailure { description: description.into(), original }));
     }
 
@@ -86,11 +92,7 @@ impl WifiMulticastTech {
 
     /// The consolidated-beacon interval: the fastest of the active packs.
     fn tick_interval(&self) -> SimDuration {
-        self.contexts
-            .values()
-            .map(|(_, i)| *i)
-            .min()
-            .unwrap_or(SimDuration::from_millis(500))
+        self.contexts.values().map(|(_, i)| *i).min().unwrap_or(SimDuration::from_millis(500))
     }
 
     fn arm_tick(&mut self, api: &mut NodeApi<'_>) {
@@ -223,6 +225,10 @@ impl WifiMulticastTech {
 }
 
 impl D2dTechnology for WifiMulticastTech {
+    fn attach_obs(&mut self, obs: &omni_obs::Obs) {
+        self.failures = Some(obs.counter("tech.wifi-multicast.failures"));
+    }
+
     fn enable(
         &mut self,
         queues: TechQueues,
@@ -365,7 +371,10 @@ mod tests {
         queues.send.push(SendRequest {
             token: id,
             op: SendOp::AddContext { context_id: id, interval: SimDuration::from_millis(500) },
-            packed: Some(PackedStruct::context(OmniAddress::from_u64(1), Bytes::from_static(payload))),
+            packed: Some(PackedStruct::context(
+                OmniAddress::from_u64(1),
+                Bytes::from_static(payload),
+            )),
         });
     }
 
@@ -405,7 +414,9 @@ mod tests {
             other => panic!("expected a batch, got {other:?}"),
         }
         // Re-armed for the next tick.
-        assert!(cmds.iter().any(|(_, c)| matches!(c, Command::SetTimer { token, .. } if *token == tick)));
+        assert!(cmds
+            .iter()
+            .any(|(_, c)| matches!(c, Command::SetTimer { token, .. } if *token == tick)));
     }
 
     #[test]
@@ -458,7 +469,8 @@ mod tests {
             target: OmniAddress::from_u64(1),
             requester: OmniAddress::from_u64(9),
         };
-        let ev = NodeEvent::Multicast { from: MeshAddress::from_u64(0xB2), payload: query.encode() };
+        let ev =
+            NodeEvent::Multicast { from: MeshAddress::from_u64(0xB2), payload: query.encode() };
         with_api(&mut cmds, |api| {
             assert!(tech.on_node_event(&ev, api));
         });
@@ -485,7 +497,8 @@ mod tests {
             addr: OmniAddress::from_u64(5),
             mesh: MeshAddress::from_u64(0xC3),
         };
-        let ev = NodeEvent::Multicast { from: MeshAddress::from_u64(0xB2), payload: reply.encode() };
+        let ev =
+            NodeEvent::Multicast { from: MeshAddress::from_u64(0xB2), payload: reply.encode() };
         with_api(&mut cmds, |api| {
             assert!(!tech.on_node_event(&ev, api));
         });

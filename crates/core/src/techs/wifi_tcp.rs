@@ -69,6 +69,8 @@ pub struct WifiTcpTech {
     resolved: HashMap<OmniAddress, MeshAddress>,
     establish: Option<Establish>,
     establish_queue: VecDeque<SendRequest>,
+    /// `tech.wifi-tcp.failures` counter, when observability is attached.
+    failures: Option<omni_obs::Counter>,
 }
 
 impl WifiTcpTech {
@@ -88,6 +90,7 @@ impl WifiTcpTech {
             resolved: HashMap::new(),
             establish: None,
             establish_queue: VecDeque::new(),
+            failures: None,
         }
     }
 
@@ -100,6 +103,9 @@ impl WifiTcpTech {
     }
 
     fn fail(&self, description: impl Into<String>, original: SendRequest) {
+        if let Some(c) = &self.failures {
+            c.inc();
+        }
         let token = original.token;
         self.respond(token, Err(TechFailure { description: description.into(), original }));
     }
@@ -221,7 +227,8 @@ impl WifiTcpTech {
             Ok(conn) => {
                 peer.conn = Some(*conn);
                 self.conn_peer.insert(*conn, mesh);
-                let queued: Vec<_> = self.peers.get_mut(&mesh).expect("peer").sendq.drain(..).collect();
+                let queued: Vec<_> =
+                    self.peers.get_mut(&mesh).expect("peer").sendq.drain(..).collect();
                 for req in queued {
                     self.send_via(mesh, req, api);
                 }
@@ -244,8 +251,7 @@ impl WifiTcpTech {
             peer.conn = None;
             peer.connecting = false;
             let why = if error { "connection lost" } else { "connection closed by peer" };
-            let stranded: Vec<_> =
-                peer.inflight.drain(..).chain(peer.sendq.drain(..)).collect();
+            let stranded: Vec<_> = peer.inflight.drain(..).chain(peer.sendq.drain(..)).collect();
             for req in stranded {
                 self.fail(why, req);
             }
@@ -255,6 +261,10 @@ impl WifiTcpTech {
 }
 
 impl D2dTechnology for WifiTcpTech {
+    fn attach_obs(&mut self, obs: &omni_obs::Obs) {
+        self.failures = Some(obs.counter("tech.wifi-tcp.failures"));
+    }
+
     fn enable(
         &mut self,
         queues: TechQueues,
@@ -348,25 +358,23 @@ impl D2dTechnology for WifiTcpTech {
                 }
                 false
             }
-            NodeEvent::Multicast { payload, .. } => {
-                match ControlFrame::decode(payload) {
-                    Ok(ControlFrame::ResolveReply { addr, mesh }) => {
-                        self.resolved.insert(addr, mesh);
-                        if let Some(est) = self.establish.as_ref() {
-                            if est.phase == Phase::Resolving && est.dest_omni == addr {
-                                api.cancel_timer(self.token_base + TOKEN_RESOLVE_RETRY);
-                                let est = self.establish.take().expect("present");
-                                for req in est.reqs {
-                                    self.send_via(mesh, req, api);
-                                }
-                                self.next_establish(api);
+            NodeEvent::Multicast { payload, .. } => match ControlFrame::decode(payload) {
+                Ok(ControlFrame::ResolveReply { addr, mesh }) => {
+                    self.resolved.insert(addr, mesh);
+                    if let Some(est) = self.establish.as_ref() {
+                        if est.phase == Phase::Resolving && est.dest_omni == addr {
+                            api.cancel_timer(self.token_base + TOKEN_RESOLVE_RETRY);
+                            let est = self.establish.take().expect("present");
+                            for req in est.reqs {
+                                self.send_via(mesh, req, api);
                             }
+                            self.next_establish(api);
                         }
-                        true
                     }
-                    _ => false,
+                    true
                 }
-            }
+                _ => false,
+            },
             NodeEvent::Timer { token } if *token == self.token_base + TOKEN_RESOLVE_RETRY => {
                 let (dest, give_up) = match self.establish.as_mut() {
                     Some(est) if est.phase == Phase::Resolving => {
@@ -499,7 +507,11 @@ mod tests {
             assert!(tech.on_node_event(&NodeEvent::TcpSendComplete { conn: ConnId(0) }, api));
         });
         match queues.response.pop() {
-            Some(TechResponse::Outcome { token: 1, result: Ok(ResponseOk::DataSent { .. }), .. }) => {}
+            Some(TechResponse::Outcome {
+                token: 1,
+                result: Ok(ResponseOk::DataSent { .. }),
+                ..
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -573,7 +585,10 @@ mod tests {
         };
         with_api(&mut cmds, |api| {
             assert!(tech.on_node_event(
-                &NodeEvent::Multicast { from: MeshAddress::from_u64(0xB2), payload: reply.encode() },
+                &NodeEvent::Multicast {
+                    from: MeshAddress::from_u64(0xB2),
+                    payload: reply.encode()
+                },
                 api
             ));
         });
@@ -592,7 +607,10 @@ mod tests {
         queues.send.push(data_req(1, true));
         with_api(&mut cmds, |api| tech.poll(api));
         with_api(&mut cmds, |api| {
-            tech.on_node_event(&NodeEvent::WifiScanDone { found: vec![MeshAddress::from_u64(0xB2)] }, api);
+            tech.on_node_event(
+                &NodeEvent::WifiScanDone { found: vec![MeshAddress::from_u64(0xB2)] },
+                api,
+            );
             tech.on_node_event(&NodeEvent::WifiJoined { ok: true }, api);
         });
         // Exhaust the retries.
@@ -667,7 +685,10 @@ mod tests {
         queues.send.push(data_req(1, false));
         with_api(&mut cmds, |api| tech.poll(api));
         with_api(&mut cmds, |api| {
-            tech.on_node_event(&NodeEvent::TcpConnectResult { token: 1, result: Ok(ConnId(0)) }, api);
+            tech.on_node_event(
+                &NodeEvent::TcpConnectResult { token: 1, result: Ok(ConnId(0)) },
+                api,
+            );
         });
         // Now the request is inflight; the connection dies.
         with_api(&mut cmds, |api| {

@@ -190,8 +190,10 @@ fn send_to_unknown_peer_fails_cleanly() {
     sim.set_stack(a, Box::new(stack_a));
     sim.run_until(SimTime::from_secs(1));
     let la = log_a.borrow();
-    assert!(la.statuses.iter().any(|(_, c, m)| *c == StatusCode::SendDataFailure
-        && m.contains("never discovered")));
+    assert!(la
+        .statuses
+        .iter()
+        .any(|(_, c, m)| *c == StatusCode::SendDataFailure && m.contains("never discovered")));
 }
 
 /// Remove-context stops transmissions: the peer stops hearing the pack.
@@ -245,7 +247,8 @@ fn engagement_extends_beaconing_to_needed_technologies() {
     let mut sim = Runner::new(SimConfig::default());
     let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
     // b has no BLE radio at all.
-    let b = sim.add_device(DeviceCaps { ble: false, wifi: true, nfc: false }, Position::new(5.0, 0.0));
+    let b =
+        sim.add_device(DeviceCaps { ble: false, wifi: true, nfc: false }, Position::new(5.0, 0.0));
     let omni_a = OmniBuilder::omni_address(&sim, a);
     let (stack_a, _log_a) =
         listener_stack(&sim, a, OmniBuilder::new().with_ble().with_wifi(), b"from-a");
@@ -255,8 +258,11 @@ fn engagement_extends_beaconing_to_needed_technologies() {
     sim.run_until(SimTime::from_secs(20));
     // a engaged multicast...
     assert!(
-        sim.trace().entries().iter().any(|e| e.device == a
-            && e.message.contains("engaging context technology wifi-multicast")),
+        sim.trace()
+            .entries()
+            .iter()
+            .any(|e| e.device == a
+                && e.message.contains("engaging context technology wifi-multicast")),
         "engagement never happened"
     );
     // ...and b received a's context over it.

@@ -23,7 +23,11 @@ fn stack_with(
     let l = log.clone();
     let stack = OmniStack::new(mgr, move |omni| {
         if let Some(a) = advert {
-            omni.add_context(ContextParams::default(), Bytes::from_static(a), Box::new(|_, _, _| {}));
+            omni.add_context(
+                ContextParams::default(),
+                Bytes::from_static(a),
+                Box::new(|_, _, _| {}),
+            );
         }
         omni.request_context(Box::new(move |src, ctx, _| {
             l.borrow_mut().push((src, ctx.to_vec()));
@@ -169,10 +173,7 @@ fn relay_and_encryption_compose() {
     sim.set_stack(b, Box::new(sb));
     sim.set_stack(c, Box::new(sc));
     sim.run_until(SimTime::from_secs(10));
-    assert!(log_c
-        .borrow()
-        .iter()
-        .any(|(src, ctx)| *src == omni_a && ctx == b"svc:sealed-chain"));
+    assert!(log_c.borrow().iter().any(|(src, ctx)| *src == omni_a && ctx == b"svc:sealed-chain"));
 }
 
 /// The adaptive policy decays the beacon interval while the neighborhood is
@@ -211,9 +212,7 @@ fn adaptive_beacons_decay_then_recover() {
     );
     // After the newcomer, the interval snapped back to the minimum.
     assert!(
-        widened
-            .iter()
-            .any(|e| e.at > SimTime::from_secs(30) && e.message.ends_with("250.000ms")),
+        widened.iter().any(|e| e.at > SimTime::from_secs(30) && e.message.ends_with("250.000ms")),
         "interval recovered on a new peer: {widened:?}"
     );
 }
@@ -234,11 +233,7 @@ fn walking_device_is_discovered_en_route() {
     sim.schedule_walk(walker, SimTime::from_secs(1), Position::new(-400.0, 0.0), 10.0);
     sim.run_until(SimTime::from_secs(80));
     let log = log_f.borrow();
-    let hits: Vec<f64> = log
-        .iter()
-        .filter(|(src, _)| *src == omni_w)
-        .map(|_| 0.0)
-        .collect();
+    let hits: Vec<f64> = log.iter().filter(|(src, _)| *src == omni_w).map(|_| 0.0).collect();
     assert!(!hits.is_empty(), "walker heard while passing");
     // Walker is ~200 m away at t=1 and passes x=0 at ~t=21; BLE range 30 m
     // gives a contact window of roughly t=18..24. Nothing before t=15.

@@ -1,0 +1,225 @@
+//! Structured events in a bounded ring buffer.
+//!
+//! Every interesting state transition in the middleware stack emits an
+//! [`Event`]: a timestamp, the node it happened on, and a typed
+//! [`EventKind`].  Events are `Copy` (technology labels are `&'static str`),
+//! so pushing one into the ring never allocates; when the ring is full the
+//! oldest event is overwritten and an overflow counter is bumped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What happened.  Payload fields are deliberately flat scalars so the whole
+/// event stays `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// An address beacon left this node.
+    BeaconSent {
+        /// Technology label (e.g. `"ble-beacon"`).
+        tech: &'static str,
+    },
+    /// An address beacon from `peer` arrived at this node.
+    BeaconReceived {
+        /// Technology label.
+        tech: &'static str,
+        /// `omni_address` of the beacon's sender.
+        peer: u64,
+    },
+    /// A peer entered the peer map for the first time.
+    PeerDiscovered {
+        /// `omni_address` of the new peer.
+        peer: u64,
+    },
+    /// A peer aged out of the peer map.
+    PeerExpired {
+        /// `omni_address` of the expired peer.
+        peer: u64,
+    },
+    /// The engagement algorithm powered a data technology up.
+    TechEngaged {
+        /// Technology label.
+        tech: &'static str,
+    },
+    /// The engagement algorithm powered a data technology down.
+    TechDisengaged {
+        /// Technology label.
+        tech: &'static str,
+    },
+    /// Application data was queued for transmission.
+    DataEnqueued {
+        /// Technology label chosen by data-technology selection.
+        tech: &'static str,
+        /// Application payload size.
+        bytes: u64,
+    },
+    /// A data send completed at the sender.
+    DataSent {
+        /// Technology label that carried the payload.
+        tech: &'static str,
+        /// Application payload size.
+        bytes: u64,
+    },
+    /// Application data arrived at the receiver.
+    DataDelivered {
+        /// `omni_address` of the payload's origin.
+        peer: u64,
+        /// Application payload size.
+        bytes: u64,
+    },
+    /// A data send failed (after any fallback attempts recorded separately).
+    DataFailed {
+        /// Technology label that reported the failure.
+        tech: &'static str,
+    },
+    /// A context was added, updated, or removed.
+    ContextUpdated {
+        /// Context identifier.
+        id: u64,
+    },
+    /// A bounded queue dropped its oldest element to admit a new one.
+    QueueDropped {
+        /// Queue label (e.g. `"receive"`).
+        queue: &'static str,
+    },
+}
+
+impl EventKind {
+    /// Stable name of the variant, for exporters and tests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::BeaconSent { .. } => "BeaconSent",
+            EventKind::BeaconReceived { .. } => "BeaconReceived",
+            EventKind::PeerDiscovered { .. } => "PeerDiscovered",
+            EventKind::PeerExpired { .. } => "PeerExpired",
+            EventKind::TechEngaged { .. } => "TechEngaged",
+            EventKind::TechDisengaged { .. } => "TechDisengaged",
+            EventKind::DataEnqueued { .. } => "DataEnqueued",
+            EventKind::DataSent { .. } => "DataSent",
+            EventKind::DataDelivered { .. } => "DataDelivered",
+            EventKind::DataFailed { .. } => "DataFailed",
+            EventKind::ContextUpdated { .. } => "ContextUpdated",
+            EventKind::QueueDropped { .. } => "QueueDropped",
+        }
+    }
+}
+
+/// One timestamped occurrence of an [`EventKind`] on a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds — sim clock when recorded from the simulator, wall clock
+    /// offset when recorded from a real deployment.
+    pub t_us: u64,
+    /// Device the event happened on (`DeviceId.0` in the simulator).
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+struct Ring {
+    buf: Vec<Event>,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+}
+
+/// Bounded MPSC-ish ring of [`Event`]s guarded by one uncontended mutex.
+///
+/// The buffer is allocated up front; a push never allocates.  Overwrites of
+/// unread events are counted in [`EventRing::overflow`].
+pub struct EventRing {
+    inner: Mutex<Ring>,
+    capacity: usize,
+    overflow: AtomicU64,
+}
+
+impl EventRing {
+    /// Ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            inner: Mutex::new(Ring { buf: Vec::with_capacity(capacity), head: 0 }),
+            capacity,
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event, overwriting the oldest when full.
+    pub fn push(&self, e: Event) {
+        let mut ring = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(e);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = e;
+            ring.head = (head + 1) % self.capacity;
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).buf.len()
+    }
+
+    /// True when no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events have been overwritten before being read.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        let ring = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.head..]);
+        out.extend_from_slice(&ring.buf[..ring.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> Event {
+        Event { t_us: t, node: 0, kind: EventKind::PeerDiscovered { peer: t } }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_overflow() {
+        let ring = EventRing::new(3);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.overflow(), 2);
+        let times: Vec<u64> = ring.to_vec().iter().map(|e| e.t_us).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_below_capacity_is_in_order() {
+        let ring = EventRing::new(10);
+        assert!(ring.is_empty());
+        for t in 0..4 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.overflow(), 0);
+        let times: Vec<u64> = ring.to_vec().iter().map(|e| e.t_us).collect();
+        assert_eq!(times, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::BeaconSent { tech: "ble-beacon" }.name(), "BeaconSent");
+        assert_eq!(EventKind::QueueDropped { queue: "receive" }.name(), "QueueDropped");
+    }
+}

@@ -1,0 +1,226 @@
+//! Snapshot exporters: plain text for terminals, JSON for tooling.
+//!
+//! JSON is emitted by hand — the whole point of `omni-obs` is to add zero
+//! external dependencies — against the schema documented in `DESIGN.md`:
+//!
+//! ```json
+//! {
+//!   "counters": {"tech.ble-beacon.tx_frames": 12},
+//!   "gauges": {"queue.receive.depth": 0},
+//!   "histograms": {"mgr.beacon_interval_us": {"count": 9, "sum": 4500000,
+//!     "min": 500000, "max": 500000, "p50": 500000, "p95": 500000, "p99": 500000}},
+//!   "events_dropped": 0,
+//!   "events": [{"t_us": 1000, "node": 0, "kind": "BeaconSent", "tech": "ble-beacon"}]
+//! }
+//! ```
+
+use crate::event::{Event, EventKind};
+use crate::metrics::MetricsRead;
+use std::fmt::Write as _;
+
+/// A complete point-in-time view of an [`Obs`](crate::Obs) handle: every
+/// metric plus the retained event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Metric values, sorted by name.
+    pub metrics: MetricsRead,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events overwritten before this snapshot was taken.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Render as an aligned text block suitable for appending to bench
+    /// reports.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== metrics ==\n");
+        if self.metrics.counters.is_empty()
+            && self.metrics.gauges.is_empty()
+            && self.metrics.histograms.is_empty()
+        {
+            out.push_str("(none)\n");
+        }
+        let width = self
+            .metrics
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.metrics.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.metrics.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.metrics.counters {
+            let _ = writeln!(out, "{name:<width$}  {v}");
+        }
+        for (name, v) in &self.metrics.gauges {
+            let _ = writeln!(out, "{name:<width$}  {v}");
+        }
+        for (name, h) in &self.metrics.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<width$}  n={} min={} p50={} p95={} p99={} max={}",
+                h.count, h.min, h.p50, h.p95, h.p99, h.max
+            );
+        }
+        let _ = writeln!(
+            out,
+            "== events == {} retained, {} dropped",
+            self.events.len(),
+            self.events_dropped
+        );
+        out
+    }
+
+    /// Render as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {v}", json_str(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {v}", json_str(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json_str(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            );
+        }
+        let _ =
+            write!(out, "\n  }},\n  \"events_dropped\": {},\n  \"events\": [", self.events_dropped);
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&event_json(e));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Encode one event as a flat JSON object.
+pub fn event_json(e: &Event) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"t_us\": {}, \"node\": {}, \"kind\": {}",
+        e.t_us,
+        e.node,
+        json_str(e.kind.name())
+    );
+    match e.kind {
+        EventKind::BeaconSent { tech }
+        | EventKind::TechEngaged { tech }
+        | EventKind::TechDisengaged { tech }
+        | EventKind::DataFailed { tech } => {
+            let _ = write!(out, ", \"tech\": {}", json_str(tech));
+        }
+        EventKind::BeaconReceived { tech, peer } => {
+            let _ = write!(out, ", \"tech\": {}, \"peer\": {peer}", json_str(tech));
+        }
+        EventKind::PeerDiscovered { peer } | EventKind::PeerExpired { peer } => {
+            let _ = write!(out, ", \"peer\": {peer}");
+        }
+        EventKind::DataEnqueued { tech, bytes } | EventKind::DataSent { tech, bytes } => {
+            let _ = write!(out, ", \"tech\": {}, \"bytes\": {bytes}", json_str(tech));
+        }
+        EventKind::DataDelivered { peer, bytes } => {
+            let _ = write!(out, ", \"peer\": {peer}, \"bytes\": {bytes}");
+        }
+        EventKind::ContextUpdated { id } => {
+            let _ = write!(out, ", \"id\": {id}");
+        }
+        EventKind::QueueDropped { queue } => {
+            let _ = write!(out, ", \"queue\": {}", json_str(queue));
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Quote and escape a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn text_and_json_cover_all_metric_kinds() {
+        let obs = Obs::new();
+        obs.counter("tech.ble-beacon.tx_frames").add(3);
+        obs.gauge("queue.receive.depth").set(2);
+        obs.histogram("mgr.beacon_interval_us").record(500_000);
+        obs.event(1_000, 0, EventKind::BeaconSent { tech: "ble-beacon" });
+        let snap = obs.snapshot();
+
+        let text = snap.to_text();
+        assert!(text.contains("tech.ble-beacon.tx_frames"));
+        assert!(text.contains("queue.receive.depth"));
+        assert!(text.contains("p99="));
+        assert!(text.contains("1 retained, 0 dropped"));
+
+        let json = snap.to_json();
+        assert!(json.contains("\"tech.ble-beacon.tx_frames\": 3"));
+        assert!(json.contains("\"queue.receive.depth\": 2"));
+        assert!(json.contains("\"kind\": \"BeaconSent\""));
+        assert!(json.contains("\"events_dropped\": 0"));
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn event_json_includes_payload_fields() {
+        let e =
+            Event { t_us: 5, node: 1, kind: EventKind::DataDelivered { peer: 42, bytes: 1024 } };
+        let j = event_json(&e);
+        assert!(j.contains("\"peer\": 42"));
+        assert!(j.contains("\"bytes\": 1024"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Counters, gauges, and fixed-bucket histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones;
+//! every record operation is a handful of atomic instructions — no locks, no
+//! allocation.  The only lock in this module guards *registration* (name →
+//! handle lookup), which callers do once at wiring time and never on the hot
+//! path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Create a free-standing counter (not attached to a registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, peer-map size).
+///
+/// Stored as a signed 64-bit integer so transient underflow in concurrent
+/// inc/dec sequences cannot wrap.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<std::sync::atomic::AtomicI64>);
+
+impl Gauge {
+    /// Create a free-standing gauge (not attached to a registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two of the recorded value.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// `buckets[k]` counts samples `v` with `v < 2^k` and `v >= 2^(k-1)`
+    /// (bucket 0 holds exactly the zeros).
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket (power-of-two) histogram of `u64` samples.
+///
+/// Recording is lock-free and allocation-free.  Quantile readout is
+/// approximate: it reports the upper bound of the bucket containing the
+/// requested rank, clamped to the exact observed maximum.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample, or 0 when empty.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (bucketed upper bound, clamped to `max`).
+    pub p50: u64,
+    /// 95th percentile (bucketed upper bound, clamped to `max`).
+    pub p95: u64,
+    /// 99th percentile (bucketed upper bound, clamped to `max`).
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Create a free-standing histogram (not attached to a registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample: 0 for 0, else `bit_width(v)` capped at 63.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of a bucket.
+    fn bucket_upper(k: usize) -> u64 {
+        if k >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &*self.0;
+        inner.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record the width of a half-open interval `[start, end)`; tolerates
+    /// clock skew by saturating at zero.  Handy for sim-clock spans where the
+    /// caller holds both marks as microseconds.
+    #[inline]
+    pub fn record_between(&self, start: u64, end: u64) {
+        self.record(end.saturating_sub(start));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let max = self.0.max.load(Ordering::Relaxed);
+        // Rank of the requested quantile, 1-based, clamped into [1, total].
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for k in 0..BUCKETS {
+            seen += self.0.buckets[k].load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper(k).min(max);
+            }
+        }
+        max
+    }
+
+    /// Point-in-time summary (count, sum, min/max, p50/p95/p99).
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let min = self.0.min.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum: self.0.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.0.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registered {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// A named registry of metrics.
+///
+/// `counter("x")` returns the *same* underlying counter every time, so
+/// distant subsystems can contribute to one metric without sharing handles
+/// explicitly.  Registration takes a short uncontended lock and may allocate;
+/// the returned handles never do either.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registered>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, c)) = reg.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        reg.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, g)) = reg.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        reg.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, h)) = reg.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::new();
+        reg.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Sorted snapshot of every registered metric.
+    pub fn read(&self) -> MetricsRead {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counters: Vec<(String, u64)> =
+            reg.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        let mut gauges: Vec<(String, i64)> =
+            reg.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect();
+        let mut histograms: Vec<(String, HistogramSummary)> =
+            reg.histograms.iter().map(|(n, h)| (n.clone(), h.summary())).collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsRead { counters, gauges, histograms }
+    }
+}
+
+/// Point-in-time values of every metric in a registry, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRead {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("c").get(), 5);
+
+        let g = reg.gauge("g");
+        g.set(7);
+        g.dec();
+        g.add(-2);
+        assert_eq!(reg.gauge("g").get(), 4);
+    }
+
+    #[test]
+    fn registry_dedups_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").inc();
+        reg.counter("a").inc();
+        assert_eq!(reg.counter("a").get(), 2);
+        let read = reg.read();
+        assert_eq!(read.counters.len(), 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_on_known_distribution() {
+        let h = Histogram::new();
+        // 100 samples: 1..=100.  Bucketed p50 is the upper bound of the
+        // bucket holding rank 50 (values 32..63 → bound 63); p99 rank 99
+        // lands in bucket 64..127 whose bound 127 clamps to the max, 100.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 63);
+        assert_eq!(s.p95, 100);
+        assert_eq!(s.p99, 100);
+    }
+
+    #[test]
+    fn histogram_zero_and_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        h.record(0);
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.p50), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_record_between_saturates() {
+        let h = Histogram::new();
+        h.record_between(10, 4); // skewed clock → 0, not a panic/wrap
+        h.record_between(4, 10);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.min, 0);
+    }
+}

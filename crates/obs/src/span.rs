@@ -1,0 +1,93 @@
+//! Lightweight span timing.
+//!
+//! [`Stopwatch`] measures wall-clock intervals; for sim-clock intervals use
+//! [`Histogram::record_between`](crate::Histogram::record_between) with the
+//! two microsecond marks.  [`time_scope!`] times a lexical scope and feeds
+//! the elapsed microseconds into a named histogram on drop.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// A wall-clock stopwatch.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Microseconds since [`Stopwatch::start`].
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Guard that records the elapsed wall-clock microseconds of its lexical
+/// scope into a histogram when dropped.  Usually built via [`time_scope!`].
+#[derive(Debug)]
+pub struct ScopeTimer {
+    hist: Histogram,
+    watch: Stopwatch,
+}
+
+impl ScopeTimer {
+    /// Start timing into `hist`.
+    pub fn new(hist: Histogram) -> Self {
+        ScopeTimer { hist, watch: Stopwatch::start() }
+    }
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        self.hist.record(self.watch.elapsed_us());
+    }
+}
+
+/// Time the rest of the enclosing scope into `$obs`'s histogram `$name`.
+///
+/// ```
+/// let obs = omni_obs::Obs::new();
+/// {
+///     let _t = omni_obs::time_scope!(obs, "pump_us");
+///     // ... work ...
+/// }
+/// assert_eq!(obs.histogram("pump_us").count(), 1);
+/// ```
+#[macro_export]
+macro_rules! time_scope {
+    ($obs:expr, $name:expr) => {
+        $crate::ScopeTimer::new($obs.histogram($name))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Obs;
+
+    #[test]
+    fn scope_timer_records_once() {
+        let obs = Obs::new();
+        {
+            let _t = crate::time_scope!(obs, "scope_us");
+        }
+        assert_eq!(obs.histogram("scope_us").count(), 1);
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let w = super::Stopwatch::start();
+        let a = w.elapsed_us();
+        let b = w.elapsed_us();
+        assert!(b >= a);
+    }
+}

@@ -175,11 +175,7 @@ pub struct NfcParams {
 
 impl Default for NfcParams {
     fn default() -> Self {
-        NfcParams {
-            range_m: 0.15,
-            touch_latency: SimDuration::from_millis(5),
-            max_payload: 4096,
-        }
+        NfcParams { range_m: 0.15, touch_latency: SimDuration::from_millis(5), max_payload: 4096 }
     }
 }
 

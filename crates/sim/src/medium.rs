@@ -151,8 +151,7 @@ impl WifiMedium {
         if rate <= 0.0 {
             return None;
         }
-        let min_remaining =
-            self.flows.iter().map(|f| f.remaining).fold(f64::INFINITY, f64::min);
+        let min_remaining = self.flows.iter().map(|f| f.remaining).fold(f64::INFINITY, f64::min);
         // +1 µs so that at the event, remaining has crossed zero within the
         // advance() epsilon.
         let us = (min_remaining / rate * 1e6).ceil() as u64 + 1;
@@ -162,9 +161,7 @@ impl WifiMedium {
     /// Whether any flow is currently active for the given device and
     /// direction (`tx`: device is the sender).
     pub fn device_active(&self, dev: DeviceId, tx: bool) -> bool {
-        self.flows
-            .iter()
-            .any(|f| if tx { f.sender == dev } else { f.receiver == dev })
+        self.flows.iter().any(|f| if tx { f.sender == dev } else { f.receiver == dev })
     }
 
     /// Queues a multicast job; returns the job to start now if the channel
@@ -195,8 +192,7 @@ impl WifiMedium {
     /// Active + queued multicast jobs for a device (used to drain state on
     /// power-off).
     pub fn cancel_mcast_for(&mut self, dev: DeviceId) -> bool {
-        let was_active =
-            self.mcast_active.as_ref().map(|j| j.sender == dev).unwrap_or(false);
+        let was_active = self.mcast_active.as_ref().map(|j| j.sender == dev).unwrap_or(false);
         self.mcast_queue.retain(|j| j.sender != dev);
         was_active
     }

@@ -280,7 +280,11 @@ pub struct NodeApi<'a> {
 impl<'a> NodeApi<'a> {
     /// Builds a detached handle backed by a caller-owned command buffer —
     /// for unit-testing stacks and technologies without a [`crate::Runner`].
-    pub fn detached(device: DeviceId, now: SimTime, commands: &'a mut Vec<(DeviceId, Command)>) -> NodeApi<'a> {
+    pub fn detached(
+        device: DeviceId,
+        now: SimTime,
+        commands: &'a mut Vec<(DeviceId, Command)>,
+    ) -> NodeApi<'a> {
         NodeApi { device, now, commands }
     }
 

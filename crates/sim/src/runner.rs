@@ -9,6 +9,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use bytes::Bytes;
+use omni_obs::{Counter, EventKind, Histogram, Obs};
 use omni_wire::{BleAddress, MeshAddress, NfcAddress};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -117,23 +118,113 @@ impl Connection {
 
 #[derive(Debug)]
 enum Engine {
-    StartStack { dev: DeviceId },
-    Timer { dev: DeviceId, token: u64, gen: u64 },
-    BleAdv { dev: DeviceId, slot: u32, gen: u64 },
-    BleOneShotDeliver { to: DeviceId, from: DeviceId, payload: Bytes },
-    BleOneShotSent { dev: DeviceId },
-    WifiScanDone { dev: DeviceId, gen: u64 },
-    WifiJoinDone { dev: DeviceId, gen: u64 },
+    StartStack {
+        dev: DeviceId,
+    },
+    Timer {
+        dev: DeviceId,
+        token: u64,
+        gen: u64,
+    },
+    BleAdv {
+        dev: DeviceId,
+        slot: u32,
+        gen: u64,
+    },
+    BleOneShotDeliver {
+        to: DeviceId,
+        from: DeviceId,
+        payload: Bytes,
+    },
+    BleOneShotSent {
+        dev: DeviceId,
+    },
+    WifiScanDone {
+        dev: DeviceId,
+        gen: u64,
+    },
+    WifiJoinDone {
+        dev: DeviceId,
+        gen: u64,
+    },
     /// Immediate confirmation for a join issued while already joined.
-    WifiJoinEcho { dev: DeviceId },
-    TcpConnectDone { initiator: DeviceId, token: u64, target: DeviceId },
-    TcpConnectFail { dev: DeviceId, token: u64, error: TcpError },
-    FlowBoundary { gen: u64 },
-    McastDone { gen: u64 },
-    NfcDeliver { to: DeviceId, from: DeviceId, payload: Bytes },
-    InfraChunkDone { dev: DeviceId, gen: u64 },
-    Teleport { dev: DeviceId, pos: Position },
-    WalkStep { dev: DeviceId, to: Position, speed_mps: f64 },
+    WifiJoinEcho {
+        dev: DeviceId,
+    },
+    TcpConnectDone {
+        initiator: DeviceId,
+        token: u64,
+        target: DeviceId,
+    },
+    TcpConnectFail {
+        dev: DeviceId,
+        token: u64,
+        error: TcpError,
+    },
+    FlowBoundary {
+        gen: u64,
+    },
+    McastDone {
+        gen: u64,
+    },
+    NfcDeliver {
+        to: DeviceId,
+        from: DeviceId,
+        payload: Bytes,
+    },
+    InfraChunkDone {
+        dev: DeviceId,
+        gen: u64,
+    },
+    Teleport {
+        dev: DeviceId,
+        pos: Position,
+    },
+    WalkStep {
+        dev: DeviceId,
+        to: Position,
+        speed_mps: f64,
+    },
+}
+
+/// Cached tx/rx meters for one technology; handles are atomic, so the
+/// per-frame record path takes no lock and allocates nothing.
+struct TechMeters {
+    tx_frames: Counter,
+    tx_bytes: Counter,
+    rx_frames: Counter,
+    rx_bytes: Counter,
+}
+
+impl TechMeters {
+    fn new(obs: &Obs, tech: &str) -> Self {
+        TechMeters {
+            tx_frames: obs.counter(&format!("tech.{tech}.tx_frames")),
+            tx_bytes: obs.counter(&format!("tech.{tech}.tx_bytes")),
+            rx_frames: obs.counter(&format!("tech.{tech}.rx_frames")),
+            rx_bytes: obs.counter(&format!("tech.{tech}.rx_bytes")),
+        }
+    }
+
+    fn tx(&self, bytes: usize) {
+        self.tx_frames.inc();
+        self.tx_bytes.add(bytes as u64);
+    }
+
+    fn rx(&self, bytes: usize) {
+        self.rx_frames.inc();
+        self.rx_bytes.add(bytes as u64);
+    }
+}
+
+/// Observability state attached to a [`Runner`] via [`Runner::set_obs`].
+struct RunnerObs {
+    obs: Obs,
+    ble: TechMeters,
+    mcast: TechMeters,
+    tcp: TechMeters,
+    nfc: TechMeters,
+    beacon_interval_us: Histogram,
 }
 
 struct Scheduled {
@@ -176,6 +267,7 @@ pub struct Runner {
     mesh_index: HashMap<MeshAddress, DeviceId>,
     timer_gens: HashMap<(usize, u64), u64>,
     cmd_buf: Vec<(DeviceId, Command)>,
+    obs: Option<RunnerObs>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -209,7 +301,29 @@ impl Runner {
             mesh_index: HashMap::new(),
             timer_gens: HashMap::new(),
             cmd_buf: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle. The runner records per-technology
+    /// tx/rx frame and byte counters, the realized BLE advertising cadence
+    /// (`beacon.interval_us`), and [`EventKind::BeaconSent`] events; the
+    /// trace buffer forwards structured entries into the same handle.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.trace.set_obs(obs.clone());
+        self.obs = Some(RunnerObs {
+            ble: TechMeters::new(&obs, "ble-beacon"),
+            mcast: TechMeters::new(&obs, "wifi-multicast"),
+            tcp: TechMeters::new(&obs, "wifi-tcp"),
+            nfc: TechMeters::new(&obs, "nfc"),
+            beacon_interval_us: obs.histogram("beacon.interval_us"),
+            obs,
+        });
+    }
+
+    /// The attached observability handle, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref().map(|o| &o.obs)
     }
 
     /// The simulation configuration.
@@ -448,8 +562,7 @@ impl Runner {
     /// During an active flow a device drives both data and ACK traffic, so
     /// both send and receive draws apply (see DESIGN.md calibration).
     fn sync_flow_energy(&mut self, dev: DeviceId) {
-        let active =
-            self.medium.device_active(dev, true) || self.medium.device_active(dev, false);
+        let active = self.medium.device_active(dev, true) || self.medium.device_active(dev, false);
         let tx_held = self.energy.is_active(dev, EnergyState::WifiTx);
         if active && !tx_held {
             self.energy.enter(dev, self.now, EnergyState::WifiTx, self.cfg.energy.wifi_tx_ma);
@@ -465,12 +578,18 @@ impl Runner {
     fn finish_flows(&mut self, done: Vec<Flow>) {
         let mut notifications = Vec::new();
         for flow in done {
+            if let Some(o) = &self.obs {
+                o.tcp.tx(flow.payload.len());
+                o.tcp.rx(flow.payload.len());
+            }
             let conn = &mut self.conns[flow.conn.0 as usize];
             let dir = conn.dir_from(flow.sender).expect("flow sender is an endpoint");
             conn.active[dir] = false;
             notifications.push((flow.sender, NodeEvent::TcpSendComplete { conn: flow.conn }));
-            notifications
-                .push((flow.receiver, NodeEvent::TcpMessage { conn: flow.conn, payload: flow.payload }));
+            notifications.push((
+                flow.receiver,
+                NodeEvent::TcpMessage { conn: flow.conn, payload: flow.payload },
+            ));
             if let Some((payload, wire)) = self.conns[flow.conn.0 as usize].pending[dir].pop_front()
             {
                 self.conns[flow.conn.0 as usize].active[dir] = true;
@@ -709,12 +828,22 @@ impl Runner {
         }
     }
 
-    fn ble_advertise_set(&mut self, dev: DeviceId, slot: u32, payload: Bytes, interval: SimDuration) {
+    fn ble_advertise_set(
+        &mut self,
+        dev: DeviceId,
+        slot: u32,
+        payload: Bytes,
+        interval: SimDuration,
+    ) {
         if payload.len() > self.cfg.ble.max_payload {
             self.trace.record(
                 self.now,
                 dev,
-                format!("ble advert dropped: {} > {} bytes", payload.len(), self.cfg.ble.max_payload),
+                format!(
+                    "ble advert dropped: {} > {} bytes",
+                    payload.len(),
+                    self.cfg.ble.max_payload
+                ),
             );
             return;
         }
@@ -743,6 +872,9 @@ impl Runner {
             return;
         }
         self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.oneshot_pulse);
+        if let Some(o) = &self.obs {
+            o.ble.tx(payload.len());
+        }
         let latency = self.cfg.ble.oneshot_latency;
         let recipients: Vec<DeviceId> = self
             .world
@@ -750,7 +882,10 @@ impl Runner {
             .filter(|&n| self.devices[n.0].ble_on && self.devices[n.0].ble_scan_duty.is_some())
             .collect();
         for to in recipients {
-            self.schedule(latency, Engine::BleOneShotDeliver { to, from: dev, payload: payload.clone() });
+            self.schedule(
+                latency,
+                Engine::BleOneShotDeliver { to, from: dev, payload: payload.clone() },
+            );
         }
         self.schedule(latency, Engine::BleOneShotSent { dev });
     }
@@ -833,7 +968,9 @@ impl Runner {
         }
         let target = self.mesh_index.get(&peer).copied();
         let ok = target.map(|t| {
-            t != dev && self.devices[t.0].wifi_on && self.world.in_range(dev, t, self.cfg.wifi.range_m)
+            t != dev
+                && self.devices[t.0].wifi_on
+                && self.world.in_range(dev, t, self.cfg.wifi.range_m)
         });
         match (target, ok) {
             (Some(t), Some(true)) => {
@@ -890,6 +1027,9 @@ impl Runner {
             self.trace.record(self.now, dev, "nfc send ignored: no nfc hardware");
             return;
         }
+        if let Some(o) = &self.obs {
+            o.nfc.tx(payload.len());
+        }
         let recipients: Vec<DeviceId> = self
             .world
             .neighbors(dev, self.cfg.nfc.range_m)
@@ -924,8 +1064,7 @@ impl Runner {
 
     fn infra_start(&mut self, dev: DeviceId, req: u64, total: u64, chunk: u64) {
         let d = &mut self.devices[dev.0];
-        d.infra_active =
-            Some(ActiveInfra { req, total, chunk, received: 0, next_chunk_index: 0 });
+        d.infra_active = Some(ActiveInfra { req, total, chunk, received: 0, next_chunk_index: 0 });
         d.infra_gen += 1;
         let gen = d.infra_gen;
         let first = chunk.min(total);
@@ -961,6 +1100,9 @@ impl Runner {
                 let d = &self.devices[to.0];
                 if d.ble_on && d.ble_scan_duty.is_some() {
                     let from_addr = self.devices[from.0].ble_addr;
+                    if let Some(o) = &self.obs {
+                        o.ble.rx(payload.len());
+                    }
                     self.deliver(to, NodeEvent::BleOneShot { from: from_addr, payload });
                 }
             }
@@ -1035,6 +1177,9 @@ impl Runner {
             Engine::NfcDeliver { to, from, payload } => {
                 if self.world.in_range(to, from, self.cfg.nfc.range_m) {
                     let from_addr = self.devices[from.0].nfc_addr;
+                    if let Some(o) = &self.obs {
+                        o.nfc.rx(payload.len());
+                    }
                     self.deliver(to, NodeEvent::NfcReceived { from: from_addr, payload });
                 }
             }
@@ -1051,10 +1196,8 @@ impl Runner {
                     self.world.set_position(dev, to);
                 } else {
                     let frac = speed_mps / remaining;
-                    let next = Position::new(
-                        cur.x + (to.x - cur.x) * frac,
-                        cur.y + (to.y - cur.y) * frac,
-                    );
+                    let next =
+                        Position::new(cur.x + (to.x - cur.x) * frac, cur.y + (to.y - cur.y) * frac);
                     self.world.set_position(dev, next);
                     self.schedule(
                         SimDuration::from_secs(1),
@@ -1078,6 +1221,15 @@ impl Runner {
             }
         };
         self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.adv_pulse);
+        if let Some(o) = &self.obs {
+            o.ble.tx(payload.len());
+            o.beacon_interval_us.record(interval.as_micros());
+            o.obs.event(
+                self.now.as_micros(),
+                dev.0 as u32,
+                EventKind::BeaconSent { tech: "ble-beacon" },
+            );
+        }
         let from = self.devices[dev.0].ble_addr;
         let candidates: Vec<(DeviceId, f64)> = self
             .world
@@ -1095,6 +1247,9 @@ impl Runner {
             // A duty-cycled scanner only catches the beacon when its scan
             // window overlaps the advertising event.
             if duty >= 1.0 || self.rng.gen_bool(duty) {
+                if let Some(o) = &self.obs {
+                    o.ble.rx(payload.len());
+                }
                 self.deliver(to, NodeEvent::BleBeacon { from, payload: payload.clone() });
             }
         }
@@ -1110,6 +1265,9 @@ impl Runner {
             return;
         };
         self.energy.leave(job.sender, self.now, EnergyState::McastTx);
+        if let Some(o) = &self.obs {
+            o.mcast.tx(job.payload.len());
+        }
         if let Some(next_job) = next {
             self.start_mcast(next_job);
         }
@@ -1130,6 +1288,9 @@ impl Runner {
                 })
                 .collect();
             for to in recipients {
+                if let Some(o) = &self.obs {
+                    o.mcast.rx(job.payload.len());
+                }
                 self.deliver(to, NodeEvent::Multicast { from, payload: job.payload.clone() });
             }
         }
@@ -1165,6 +1326,9 @@ impl Runner {
             let delay = SimDuration::from_secs_f64(next as f64 / d.infra_rate_bps);
             self.schedule(delay, Engine::InfraChunkDone { dev, gen });
         }
-        self.deliver(dev, NodeEvent::InfraChunk { req, chunk: chunk_index, received_bytes: received, done });
+        self.deliver(
+            dev,
+            NodeEvent::InfraChunk { req, chunk: chunk_index, received_bytes: received, done },
+        );
     }
 }

@@ -62,11 +62,7 @@ impl SimTime {
     /// Panics if `earlier` is later than `self`; virtual time never runs
     /// backwards, so this indicates a simulator bug.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(earlier.0)
-                .expect("virtual time ran backwards"),
-        )
+        SimDuration(self.0.checked_sub(earlier.0).expect("virtual time ran backwards"))
     }
 
     /// Saturating version of [`SimTime::duration_since`].

@@ -3,9 +3,15 @@
 //! Stacks and the engine record human-readable lines; tests assert on them
 //! and experiment harnesses can dump them for debugging. The buffer is
 //! bounded so long runs cannot exhaust memory.
+//!
+//! Entries may additionally carry a structured [`EventKind`]; when an
+//! [`Obs`] handle is attached, those structured entries are forwarded into
+//! its bounded event ring so the trace doubles as an event source for the
+//! observability layer.
 
 use crate::time::SimTime;
 use crate::DeviceId;
+use omni_obs::{EventKind, Obs};
 
 /// One recorded line.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +23,9 @@ pub struct TraceEntry {
     pub device: DeviceId,
     /// The message.
     pub message: String,
+    /// Structured classification of the entry, when the recorder provided
+    /// one ([`Trace::record`] leaves it empty).
+    pub kind: Option<EventKind>,
 }
 
 /// Bounded in-memory trace.
@@ -26,11 +35,12 @@ pub struct Trace {
     capacity: usize,
     dropped: u64,
     enabled: bool,
+    obs: Option<Obs>,
 }
 
 impl Default for Trace {
     fn default() -> Self {
-        Trace { entries: Vec::new(), capacity: 100_000, dropped: 0, enabled: true }
+        Trace { entries: Vec::new(), capacity: 100_000, dropped: 0, enabled: true, obs: None }
     }
 }
 
@@ -41,12 +51,46 @@ impl Trace {
     }
 
     /// Enables or disables recording (disabled recording is free).
+    ///
+    /// Structured kinds keep flowing to an attached [`Obs`] handle either
+    /// way — its ring is bounded, and experiments routinely disable the
+    /// string trace for long runs while still wanting events.
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
     }
 
+    /// Attaches an observability handle; structured entries recorded from
+    /// now on are mirrored into its event ring.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
     /// Records a line.
     pub fn record(&mut self, at: SimTime, device: DeviceId, message: impl Into<String>) {
+        self.push(at, device, message, None);
+    }
+
+    /// Records a line carrying a structured [`EventKind`].
+    pub fn record_kind(
+        &mut self,
+        at: SimTime,
+        device: DeviceId,
+        message: impl Into<String>,
+        kind: EventKind,
+    ) {
+        self.push(at, device, message, Some(kind));
+    }
+
+    fn push(
+        &mut self,
+        at: SimTime,
+        device: DeviceId,
+        message: impl Into<String>,
+        kind: Option<EventKind>,
+    ) {
+        if let (Some(obs), Some(kind)) = (&self.obs, kind) {
+            obs.event(at.as_micros(), device.0 as u32, kind);
+        }
         if !self.enabled {
             return;
         }
@@ -54,7 +98,7 @@ impl Trace {
             self.dropped += 1;
             return;
         }
-        self.entries.push(TraceEntry { at, device, message: message.into() });
+        self.entries.push(TraceEntry { at, device, message: message.into(), kind });
     }
 
     /// All recorded lines, in order.
@@ -110,5 +154,42 @@ mod tests {
         }
         assert_eq!(t.entries().len(), 2);
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn plain_records_carry_no_kind() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, DeviceId(0), "plain");
+        assert_eq!(t.entries()[0].kind, None);
+    }
+
+    #[test]
+    fn structured_records_forward_to_obs() {
+        let obs = Obs::new();
+        let mut t = Trace::new();
+        t.set_obs(obs.clone());
+        t.record_kind(
+            SimTime::from_millis(3),
+            DeviceId(1),
+            "peer discovered",
+            EventKind::PeerDiscovered { peer: 42 },
+        );
+        assert_eq!(t.entries()[0].kind, Some(EventKind::PeerDiscovered { peer: 42 }));
+        let events = obs.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_us, 3_000);
+        assert_eq!(events[0].node, 1);
+        assert_eq!(events[0].kind, EventKind::PeerDiscovered { peer: 42 });
+    }
+
+    #[test]
+    fn obs_forwarding_survives_disabled_trace() {
+        let obs = Obs::new();
+        let mut t = Trace::new();
+        t.set_obs(obs.clone());
+        t.set_enabled(false);
+        t.record_kind(SimTime::ZERO, DeviceId(0), "x", EventKind::PeerExpired { peer: 7 });
+        assert!(t.entries().is_empty());
+        assert_eq!(obs.events().len(), 1);
     }
 }

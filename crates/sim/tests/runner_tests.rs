@@ -21,6 +21,7 @@ struct Probe {
 }
 
 impl Probe {
+    #[allow(clippy::type_complexity)]
     fn new() -> (Self, Rc<RefCell<Vec<(SimTime, String)>>>) {
         let log = Rc::new(RefCell::new(Vec::new()));
         (Probe { log: log.clone(), start_cmds: Vec::new(), reaction: None }, log)
@@ -96,10 +97,13 @@ fn two_device_sim() -> (Runner, DeviceId, DeviceId) {
 fn timers_fire_once_at_the_right_time() {
     let (mut sim, a, _) = two_device_sim();
     let (probe, log) = Probe::new();
-    sim.set_stack(a, Box::new(probe.with_start(vec![Command::SetTimer {
-        token: 42,
-        delay: SimDuration::from_millis(750),
-    }])));
+    sim.set_stack(
+        a,
+        Box::new(probe.with_start(vec![Command::SetTimer {
+            token: 42,
+            delay: SimDuration::from_millis(750),
+        }])),
+    );
     sim.run_until(SimTime::from_secs(5));
     let log = log.borrow();
     let timers: Vec<_> = log.iter().filter(|(_, l)| l == "timer:42").collect();

@@ -15,9 +15,7 @@ use crate::WireError;
 /// * [`ContentKind::Context`] packets are small, periodic, broadcast items —
 ///   service advertisements, interests, application context.
 /// * [`ContentKind::Data`] packets are one-shot, directed transfers.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum ContentKind {
     /// Internal neighbor-discovery beacon (hidden from applications).

@@ -50,11 +50,7 @@ impl PackedStruct {
 
     /// Builds an address beacon carrying the sender's low-level addresses.
     pub fn address_beacon(source: OmniAddress, beacon: &AddressBeaconPayload) -> Self {
-        PackedStruct {
-            kind: ContentKind::AddressBeacon,
-            source,
-            payload: beacon.encode(),
-        }
+        PackedStruct { kind: ContentKind::AddressBeacon, source, payload: beacon.encode() }
     }
 
     /// Total encoded length in bytes.
@@ -230,14 +226,8 @@ mod tests {
 
     #[test]
     fn wrong_beacon_length_is_rejected() {
-        assert_eq!(
-            AddressBeaconPayload::decode(&[0u8; 13]),
-            Err(WireError::BadBeaconLength(13))
-        );
-        assert_eq!(
-            AddressBeaconPayload::decode(&[0u8; 15]),
-            Err(WireError::BadBeaconLength(15))
-        );
+        assert_eq!(AddressBeaconPayload::decode(&[0u8; 13]), Err(WireError::BadBeaconLength(13)));
+        assert_eq!(AddressBeaconPayload::decode(&[0u8; 15]), Err(WireError::BadBeaconLength(15)));
     }
 
     #[test]

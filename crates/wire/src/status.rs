@@ -8,9 +8,7 @@ use crate::OmniAddress;
 
 /// Response codes delivered to `status_callback(code, response_info)`
 /// (paper §3.1, Table 2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)] // variant names mirror paper Table 2 verbatim
 pub enum StatusCode {
     AddContextSuccess,

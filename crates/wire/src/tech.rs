@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 /// address-beacon algorithm always beacons on the accessible technology with
 /// the lowest energy cost (paper §3.3) and `TechType` iteration order encodes
 /// that preference.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TechType {
     /// NFC touch exchange: effectively free energy-wise but only centimeters
     /// of range.

@@ -8,9 +8,7 @@
 //! Run with `cargo run --example secure_relay`.
 
 use bytes::Bytes;
-use omni::core::{
-    AdaptiveBeacon, ContextParams, GroupKey, OmniBuilder, OmniConfig, OmniStack,
-};
+use omni::core::{AdaptiveBeacon, ContextParams, GroupKey, OmniBuilder, OmniConfig, OmniStack};
 use omni::sim::{DeviceCaps, Position, Runner, SimConfig, SimDuration, SimTime};
 
 fn main() {
@@ -43,13 +41,18 @@ fn main() {
         ("mid2", mid2, 2, b"status:keeping-up"),
         ("tail", tail, 1, b"status:tail-lagging"),
     ] {
-        let mgr = OmniBuilder::new().with_ble().with_wifi().with_config(group(ttl)).build(&sim, dev);
+        let mgr =
+            OmniBuilder::new().with_ble().with_wifi().with_config(group(ttl)).build(&sim, dev);
         let advert = Bytes::copy_from_slice(advert);
         sim.set_stack(
             dev,
             Box::new(OmniStack::new(mgr, move |omni| {
                 if !advert.is_empty() {
-                    omni.add_context(ContextParams::default(), advert.clone(), Box::new(|_, _, _| {}));
+                    omni.add_context(
+                        ContextParams::default(),
+                        advert.clone(),
+                        Box::new(|_, _, _| {}),
+                    );
                 }
                 let who = name;
                 omni.request_context(Box::new(move |src, ctx, o| {

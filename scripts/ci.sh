@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md). Run from the repo root:
+#
+#   scripts/ci.sh
+#
+# Every PR must pass all three stages: formatting, lints as errors, and the
+# full test suite.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -15,6 +15,9 @@
 //!   the paper compares against.
 //! * [`apps`] — the evaluation applications: Disseminate-like media sharing,
 //!   the PRoPHET DTN router, and the smart-city tourism scenario.
+//! * [`obs`] — the dependency-free observability layer: atomic metrics,
+//!   span timing, and the structured event stream every other layer reports
+//!   into.
 //!
 //! Start with the [`quickstart` example](https://example.invalid/omni), or:
 //!
@@ -56,5 +59,6 @@
 pub use omni_apps as apps;
 pub use omni_baselines as baselines;
 pub use omni_core as core;
+pub use omni_obs as obs;
 pub use omni_sim as sim;
 pub use omni_wire as wire;

@@ -153,8 +153,10 @@ proptest! {
         sim.trace_mut().set_enabled(false);
         let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
         let b = sim.add_device(DeviceCaps::PI, Position::new(dx, 0.0));
-        let mut cfg = omni::core::OmniConfig::default();
-        cfg.beacon_interval = SimDuration::from_millis(interval_ms);
+        let cfg = omni::core::OmniConfig {
+            beacon_interval: SimDuration::from_millis(interval_ms),
+            ..Default::default()
+        };
         let mgr = OmniBuilder::new().with_ble().with_config(cfg.clone()).build(&sim, a);
         sim.set_stack(a, Box::new(OmniStack::new(mgr, move |omni| {
             omni.add_context(
@@ -185,16 +187,26 @@ fn mixed_stack_runs_are_bit_identical() {
         let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
         let log = Rc::new(RefCell::new(Vec::new()));
         let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, a);
-        sim.set_stack(a, Box::new(OmniStack::new(mgr, |omni| {
-            omni.add_context(ContextParams::default(), Bytes::from_static(b"det"), Box::new(|_, _, _| {}));
-        })));
+        sim.set_stack(
+            a,
+            Box::new(OmniStack::new(mgr, |omni| {
+                omni.add_context(
+                    ContextParams::default(),
+                    Bytes::from_static(b"det"),
+                    Box::new(|_, _, _| {}),
+                );
+            })),
+        );
         let l = log.clone();
         let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, b);
-        sim.set_stack(b, Box::new(OmniStack::new(mgr, move |omni| {
-            omni.request_context(Box::new(move |src, _, o| {
-                l.borrow_mut().push((o.now.as_micros(), src));
-            }));
-        })));
+        sim.set_stack(
+            b,
+            Box::new(OmniStack::new(mgr, move |omni| {
+                omni.request_context(Box::new(move |src, _, o| {
+                    l.borrow_mut().push((o.now.as_micros(), src));
+                }));
+            })),
+        );
         sim.run_until(SimTime::from_secs(20));
         let v = log.borrow().clone();
         (v, sim.energy().total_ma_s(DeviceId(0), SimTime::from_secs(20)))

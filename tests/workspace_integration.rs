@@ -9,6 +9,7 @@ use omni::core::{ContextParams, OmniBuilder, OmniStack};
 use omni::sim::{DeviceCaps, DeviceId, Position, Runner, SimConfig, SimDuration, SimTime};
 use omni::wire::{OmniAddress, StatusCode, TechType};
 
+#[allow(clippy::type_complexity)]
 fn omni_listener(
     sim: &Runner,
     dev: DeviceId,
@@ -19,7 +20,11 @@ fn omni_listener(
     let l = log.clone();
     let stack = OmniStack::new(mgr, move |omni| {
         if !advert.is_empty() {
-            omni.add_context(ContextParams::default(), Bytes::from_static(advert), Box::new(|_, _, _| {}));
+            omni.add_context(
+                ContextParams::default(),
+                Bytes::from_static(advert),
+                Box::new(|_, _, _| {}),
+            );
         }
         omni.request_context(Box::new(move |src, ctx, _| {
             l.borrow_mut().push((src, ctx.to_vec()));
@@ -85,9 +90,10 @@ fn send_failure_surfaces_after_fallback_then_recovers() {
     // verify recovery by sending again from a fresh one-off device event:
     // B is back in range; A's beacons re-discover it and a new send works.
     sim.run_until(SimTime::from_secs(30));
-    let after_return = outcomes.borrow().iter().any(|(at, c)| {
-        *c == StatusCode::SendDataSuccess && at.as_secs_f64() > 12.0
-    });
+    let after_return = outcomes
+        .borrow()
+        .iter()
+        .any(|(at, c)| *c == StatusCode::SendDataSuccess && at.as_secs_f64() > 12.0);
     // The first-phase timer only fired once; trigger a second send directly.
     if !after_return {
         // No retry was scheduled by the app — acceptable; what matters is
@@ -128,11 +134,11 @@ fn eight_devices_fully_discover() {
     let mut sim = Runner::new(SimConfig::default());
     sim.trace_mut().set_enabled(false);
     let n = 8;
-    let devs: Vec<DeviceId> =
-        (0..n).map(|i| sim.add_device(DeviceCaps::PI, Position::new(2.0 * i as f64, 0.0))).collect();
+    let devs: Vec<DeviceId> = (0..n)
+        .map(|i| sim.add_device(DeviceCaps::PI, Position::new(2.0 * i as f64, 0.0)))
+        .collect();
     let mut logs = Vec::new();
-    let adverts: Vec<&'static [u8]> =
-        vec![b"s0", b"s1", b"s2", b"s3", b"s4", b"s5", b"s6", b"s7"];
+    let adverts: Vec<&'static [u8]> = vec![b"s0", b"s1", b"s2", b"s3", b"s4", b"s5", b"s6", b"s7"];
     for (i, &d) in devs.iter().enumerate() {
         let (stack, log) = omni_listener(&sim, d, adverts[i]);
         sim.set_stack(d, Box::new(stack));
@@ -206,9 +212,9 @@ fn data_tech_restriction_is_honored() {
     let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
     let dest = OmniBuilder::omni_address(&sim, b);
     let statuses: Rc<RefCell<Vec<StatusCode>>> = Rc::new(RefCell::new(Vec::new()));
-    let mut cfg = omni::core::OmniConfig::default();
     // Only NFC is allowed for data — and this device has no NFC.
-    cfg.data_techs = Some(vec![TechType::Nfc]);
+    let cfg =
+        omni::core::OmniConfig { data_techs: Some(vec![TechType::Nfc]), ..Default::default() };
     let mgr = OmniBuilder::new().with_ble().with_wifi().with_config(cfg).build(&sim, a);
     let st = statuses.clone();
     sim.set_stack(
@@ -236,7 +242,8 @@ fn data_tech_restriction_is_honored() {
 #[test]
 fn nfc_context_at_touch_range() {
     let mut sim = Runner::new(SimConfig::default());
-    let tag = sim.add_device(DeviceCaps { ble: false, wifi: false, nfc: true }, Position::new(0.0, 0.0));
+    let tag =
+        sim.add_device(DeviceCaps { ble: false, wifi: false, nfc: true }, Position::new(0.0, 0.0));
     let phone = sim.add_device(DeviceCaps::PHONE, Position::new(0.1, 0.0));
     let mgr = OmniBuilder::new().with_nfc().build(&sim, tag);
     sim.set_stack(
