@@ -59,6 +59,77 @@ pub struct OmniConfig {
     /// `QueueDropped` events when `obs` is set). `None` keeps the historical
     /// unbounded behavior.
     pub queue_capacity: Option<usize>,
+    /// Reliable data path policy: ack deadlines, bounded retries with
+    /// exponential backoff, and failover across the peer's technologies.
+    /// The default ([`RetryPolicy::off`], `max_attempts == 1`) preserves the
+    /// classic fire-and-forget behavior exactly: no deadline timers, no BLE
+    /// link-layer acks, and the single-pass fallback chain.
+    pub retry: RetryPolicy,
+}
+
+/// Policy for the reliable data path (retry/backoff/failover).
+///
+/// A send attempt walks the candidate technologies for the destination in
+/// cheapest-first order. Every per-technology try is guarded by an ack
+/// deadline (`candidate.expected + ack_deadline`); a failure or deadline
+/// expiry moves on to the next engaged technology, and when the whole
+/// candidate list is exhausted the manager waits out an exponential backoff
+/// and re-enumerates, up to `max_attempts` passes. Only then does the send
+/// fail terminally, with [`omni_wire::ResponseInfo::SendExhausted`] naming
+/// every technology that was tried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Candidate-list passes per destination before the terminal failure.
+    /// `1` disables the reliable path entirely (fire-and-forget).
+    pub max_attempts: u32,
+    /// Grace added to a candidate's expected delivery time before the
+    /// manager declares the try lost and moves on.
+    pub ack_deadline: SimDuration,
+    /// Backoff before the second pass; later passes multiply by
+    /// `backoff_factor` up to `backoff_max`.
+    pub backoff_base: SimDuration,
+    /// Exponential backoff multiplier (values below 1 are treated as 1).
+    pub backoff_factor: f64,
+    /// Ceiling on the backoff delay.
+    pub backoff_max: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The classic fire-and-forget behavior (the default).
+    pub fn off() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ack_deadline: SimDuration::from_millis(250),
+            backoff_base: SimDuration::from_millis(200),
+            backoff_factor: 2.0,
+            backoff_max: SimDuration::from_secs(2),
+        }
+    }
+
+    /// A sensible reliable preset: six passes with 200 ms → 2 s backoff.
+    pub fn reliable() -> Self {
+        RetryPolicy { max_attempts: 6, ..RetryPolicy::off() }
+    }
+
+    /// Whether the reliable path is active.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// The backoff delay before pass `next_attempt` (2-based: the first
+    /// retry waits `backoff_base`).
+    pub fn backoff_delay(&self, next_attempt: u32) -> SimDuration {
+        let factor = self.backoff_factor.max(1.0);
+        let mult = factor.powi(next_attempt.saturating_sub(2) as i32);
+        let us = (self.backoff_base.as_micros() as f64 * mult) as u64;
+        SimDuration::from_micros(us.min(self.backoff_max.as_micros()))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::off()
+    }
 }
 
 /// Policy for adaptive address-beacon intervals.
@@ -92,6 +163,7 @@ impl Default for OmniConfig {
             adaptive_beacon: None,
             obs: None,
             queue_capacity: None,
+            retry: RetryPolicy::off(),
         }
     }
 }
@@ -170,6 +242,18 @@ mod tests {
     #[test]
     fn beacon_interval_matches_paper() {
         assert_eq!(OmniConfig::default().beacon_interval, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn retry_defaults_off_and_backoff_is_capped() {
+        let p = RetryPolicy::default();
+        assert!(!p.enabled(), "default config must keep the classic path");
+        let r = RetryPolicy::reliable();
+        assert!(r.enabled());
+        assert_eq!(r.backoff_delay(2), SimDuration::from_millis(200));
+        assert_eq!(r.backoff_delay(3), SimDuration::from_millis(400));
+        assert_eq!(r.backoff_delay(4), SimDuration::from_millis(800));
+        assert_eq!(r.backoff_delay(20), r.backoff_max, "exponential growth is capped");
     }
 
     #[test]

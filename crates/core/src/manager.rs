@@ -24,7 +24,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::{BufMut, Bytes};
-use omni_obs::{Counter, EventKind, Gauge, Obs};
+use omni_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use omni_sim::{NodeApi, NodeEvent, SimDuration, SimTime};
 use omni_wire::{
     AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
@@ -48,6 +48,10 @@ use crate::tech::D2dTechnology;
 const MGR_TIMER_ENGAGE: u64 = 1 << 60;
 /// Base of the application timer token range.
 const APP_TIMER_BASE: u64 = 1 << 59;
+/// Base of the reliable-data timer token range (ack deadlines and retry
+/// backoffs). The offset within the range is the send's pending token, so
+/// one timer slot exists per outstanding send.
+const MGR_TIMER_DATA_BASE: u64 = 1 << 58;
 /// The reserved context id of the internal address beacon.
 pub const ADDRESS_BEACON_CONTEXT_ID: u64 = 0;
 
@@ -88,6 +92,9 @@ struct MgrObs {
     data_delivered: Counter,
     data_failed: Counter,
     data_fallbacks: Counter,
+    data_retries: Counter,
+    retry_count: Histogram,
+    backoff_us: Histogram,
     context_ops: Counter,
     /// Fresh-peer snapshot from the previous engagement evaluation, for
     /// `PeerExpired` detection (independent of the adaptive-beacon state).
@@ -109,6 +116,9 @@ impl MgrObs {
             data_delivered: obs.counter("mgr.data_delivered"),
             data_failed: obs.counter("mgr.data_failed"),
             data_fallbacks: obs.counter("mgr.data_fallbacks"),
+            data_retries: obs.counter("mgr.data_retries"),
+            retry_count: obs.histogram("mgr.data_retry_count"),
+            backoff_us: obs.histogram("mgr.data_backoff_us"),
             context_ops: obs.counter("mgr.context_ops"),
             fresh_prev: BTreeSet::new(),
         }
@@ -133,9 +143,31 @@ enum CtxOp {
     Remove,
 }
 
+/// The state of one application data send to one destination, carried from
+/// candidate to candidate (and, on the reliable path, from pass to pass).
+struct DataSend {
+    dest: OmniAddress,
+    cb: Option<SharedCb>,
+    /// Untried candidates remaining in the current pass.
+    remaining: Vec<Candidate>,
+    wire_len: u64,
+    /// Payload copy for deadline-driven retries — a technology that went
+    /// silent never hands the original request back.
+    packed: Option<PackedStruct>,
+    /// 1-based candidate-list pass, bounded by
+    /// [`RetryPolicy::max_attempts`](crate::config::RetryPolicy).
+    attempt: u32,
+    /// Every technology tried so far, in first-tried order (for the
+    /// terminal [`ResponseInfo::SendExhausted`]).
+    tried: Vec<TechType>,
+    /// Technology carrying the in-flight try; `None` while waiting out a
+    /// retry backoff.
+    current: Option<TechType>,
+}
+
 enum Pending {
     Context { op: CtxOp, id: u64, cb: Option<SharedCb>, remaining: Vec<TechType> },
-    Data { dest: OmniAddress, cb: Option<SharedCb>, remaining: Vec<Candidate>, wire_len: u64 },
+    Data(DataSend),
 }
 
 struct ContextEntry {
@@ -176,6 +208,10 @@ pub struct OmniManager {
     /// Fresh-peer snapshot from the previous engagement evaluation (drives
     /// the adaptive beacon policy).
     last_fresh_peers: BTreeSet<OmniAddress>,
+    /// Fresh-peer snapshot for reliable-send cancellation: when a peer's
+    /// record expires, its outstanding retries are failed terminally
+    /// (independent of the adaptive-beacon and obs snapshots).
+    retry_fresh_prev: BTreeSet<OmniAddress>,
     /// Manager-level observability instruments, present when
     /// [`OmniConfig::obs`] is set.
     mgr_obs: Option<MgrObs>,
@@ -247,6 +283,7 @@ impl OmniManager {
             relay_seen: HashMap::new(),
             beacon_interval_current: beacon_interval,
             last_fresh_peers: BTreeSet::new(),
+            retry_fresh_prev: BTreeSet::new(),
             mgr_obs,
         }
     }
@@ -402,6 +439,11 @@ impl OmniManager {
             }
             NodeEvent::Timer { token } if *token >= APP_TIMER_BASE && *token < MGR_TIMER_ENGAGE => {
                 self.fire_app_timers(*token - APP_TIMER_BASE, api.now);
+            }
+            NodeEvent::Timer { token }
+                if *token >= MGR_TIMER_DATA_BASE && *token < APP_TIMER_BASE =>
+            {
+                self.data_timer_fired(*token - MGR_TIMER_DATA_BASE, api);
             }
             NodeEvent::InfraChunk { req, chunk, received_bytes, done } => {
                 self.fire_infra(*req, *chunk, *received_bytes, *done, api.now);
@@ -637,11 +679,12 @@ impl OmniManager {
         for tech in engaged {
             let token = self.alloc_token();
             if let Some(q) = self.queue_of(tech) {
-                q.push(SendRequest {
+                let evicted = q.push(SendRequest {
                     token,
                     op: SendOp::RelayContext,
                     packed: Some(packed.clone()),
                 });
+                self.surface_eviction(tech, evicted);
             }
         }
     }
@@ -694,16 +737,19 @@ impl OmniManager {
                     }
                 }
             },
-            Pending::Data { dest, cb, mut remaining, wire_len } => match result {
+            Pending::Data(mut send) => match result {
                 Ok(ResponseOk::DataSent { dest_omni }) => {
+                    if self.cfg.retry.enabled() {
+                        api.cancel_timer(MGR_TIMER_DATA_BASE + token);
+                    }
                     if let Some(m) = &self.mgr_obs {
                         m.data_sent.inc();
                         m.event(
                             api.now,
-                            EventKind::DataSent { tech: tech_label(tech), bytes: wire_len },
+                            EventKind::DataSent { tech: tech_label(tech), bytes: send.wire_len },
                         );
                     }
-                    if let Some(cb) = cb {
+                    if let Some(cb) = send.cb {
                         self.deferred.push_back((
                             cb,
                             StatusCode::SendDataSuccess,
@@ -712,24 +758,30 @@ impl OmniManager {
                     }
                 }
                 Ok(other) => {
+                    if self.cfg.retry.enabled() {
+                        api.cancel_timer(MGR_TIMER_DATA_BASE + token);
+                    }
                     api.trace(format!("omni: unexpected data response {other:?}"));
                 }
                 Err(failure) => {
                     api.trace(format!(
-                        "omni: data to {dest} via {tech} failed: {}",
-                        failure.description
+                        "omni: data to {} via {tech} failed: {}",
+                        send.dest, failure.description
                     ));
-                    if remaining.is_empty() {
+                    if self.cfg.retry.enabled() {
+                        api.cancel_timer(MGR_TIMER_DATA_BASE + token);
+                        self.advance_data(send, Some(tech), failure.description, api);
+                    } else if send.remaining.is_empty() {
                         if let Some(m) = &self.mgr_obs {
                             m.data_failed.inc();
                             m.event(api.now, EventKind::DataFailed { tech: tech_label(tech) });
                         }
                         // "Only at this point is the status_callback provided
                         // by the application employed" (paper §3.3).
-                        if let Some(cb) = cb {
+                        if let Some(cb) = send.cb {
                             let info = ResponseInfo::SendFailure {
                                 description: failure.description,
-                                destination: dest,
+                                destination: send.dest,
                             };
                             self.deferred.push_back((cb, StatusCode::SendDataFailure, info));
                         }
@@ -737,13 +789,8 @@ impl OmniManager {
                         if let Some(m) = &self.mgr_obs {
                             m.data_fallbacks.inc();
                         }
-                        let next = remaining.remove(0);
-                        let packed = failure.original.packed;
-                        let wire_len = match failure.original.op {
-                            SendOp::SendData { wire_len, .. } => wire_len,
-                            _ => 0,
-                        };
-                        self.submit_data(dest, packed, wire_len, next, remaining, cb, api.now);
+                        let next = send.remaining.remove(0);
+                        self.submit_data(send, next, api);
                     }
                 }
             },
@@ -943,6 +990,44 @@ impl OmniManager {
         }
     }
 
+    /// Enumerates the delivery candidates for `total_len` bytes to `dest`,
+    /// or `None` when the destination has never been discovered. On the
+    /// reliable path the BLE payload bound absorbs the larger acked-frame
+    /// overhead.
+    fn data_candidates(
+        &self,
+        dest: OmniAddress,
+        total_len: u64,
+        now: SimTime,
+    ) -> Option<Vec<Candidate>> {
+        let enabled: Vec<TechType> = self
+            .techs
+            .iter()
+            .map(|s| s.ty)
+            .filter(|t| self.cfg.data_techs.as_ref().map(|d| d.contains(t)).unwrap_or(true))
+            .collect();
+        let record = self.peers.get(dest)?;
+        let ble_frame_overhead = if self.cfg.retry.enabled() {
+            crate::techs::frame::ACKED_OVERHEAD
+        } else {
+            crate::techs::frame::DIRECTED_OVERHEAD
+        };
+        let techs = &self.techs;
+        Some(selection::candidates(
+            dest,
+            record,
+            total_len,
+            &enabled,
+            &self.cfg.timings,
+            now,
+            self.cfg.peer_ttl,
+            ble_frame_overhead,
+            |ty, addr| {
+                techs.iter().find(|s| s.ty == ty).map(|s| s.tech.has_session(addr)).unwrap_or(false)
+            },
+        ))
+    }
+
     fn send_data_to(
         &mut self,
         dest: OmniAddress,
@@ -951,13 +1036,7 @@ impl OmniManager {
         cb: SharedCb,
         api: &mut NodeApi<'_>,
     ) {
-        let enabled: Vec<TechType> = self
-            .techs
-            .iter()
-            .map(|s| s.ty)
-            .filter(|t| self.cfg.data_techs.as_ref().map(|d| d.contains(t)).unwrap_or(true))
-            .collect();
-        let Some(record) = self.peers.get(dest) else {
+        let Some(mut cands) = self.data_candidates(dest, total_len, api.now) else {
             self.deferred.push_back((
                 cb,
                 StatusCode::SendDataFailure,
@@ -968,20 +1047,7 @@ impl OmniManager {
             ));
             return;
         };
-        let techs = &self.techs;
-        let mut cands = selection::candidates(
-            dest,
-            record,
-            total_len,
-            &enabled,
-            &self.cfg.timings,
-            api.now,
-            self.cfg.peer_ttl,
-            |ty, addr| {
-                techs.iter().find(|s| s.ty == ty).map(|s| s.tech.has_session(addr)).unwrap_or(false)
-            },
-        );
-        if cands.is_empty() {
+        if cands.is_empty() && !self.cfg.retry.enabled() {
             self.deferred.push_back((
                 cb,
                 StatusCode::SendDataFailure,
@@ -992,9 +1058,26 @@ impl OmniManager {
             ));
             return;
         }
-        let first = cands.remove(0);
         let packed = PackedStruct::data(self.own, data);
-        self.submit_data(dest, Some(packed), total_len, first, cands, Some(cb), api.now);
+        let mut send = DataSend {
+            dest,
+            cb: Some(cb),
+            remaining: Vec::new(),
+            wire_len: total_len,
+            packed: Some(packed),
+            attempt: 1,
+            tried: Vec::new(),
+            current: None,
+        };
+        if cands.is_empty() {
+            // Reliable mode: the peer may be mid-partition or mid-reboot;
+            // burn this pass and back off instead of failing outright.
+            self.advance_data(send, None, "no applicable technology for destination".into(), api);
+            return;
+        }
+        let first = cands.remove(0);
+        send.remaining = cands;
+        self.submit_data(send, first, api);
     }
 
     // ------------------------------------------------------------------
@@ -1036,7 +1119,8 @@ impl OmniManager {
         };
         self.pending.insert(token, Pending::Context { op, id, cb, remaining });
         if let Some(q) = self.queue_of(tech) {
-            q.push(SendRequest { token, op: send_op, packed });
+            let evicted = q.push(SendRequest { token, op: send_op, packed });
+            self.surface_eviction(tech, evicted);
         } else {
             // Technology vanished; fabricate a failure so fallback runs.
             self.response.push(TechResponse::Outcome {
@@ -1070,38 +1154,214 @@ impl OmniManager {
         let token = self.alloc_token();
         self.pending.insert(token, Pending::Context { op, id, cb, remaining });
         if let Some(q) = self.queue_of(tech) {
-            q.push(SendRequest { token, op: original.op, packed: original.packed });
+            let evicted = q.push(SendRequest { token, op: original.op, packed: original.packed });
+            self.surface_eviction(tech, evicted);
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn submit_data(
-        &mut self,
-        dest: OmniAddress,
-        packed: Option<PackedStruct>,
-        wire_len: u64,
-        candidate: Candidate,
-        remaining: Vec<Candidate>,
-        cb: Option<SharedCb>,
-        now: SimTime,
-    ) {
+    /// Hands a send to a technology, arming the ack-deadline timer when the
+    /// reliable path is active.
+    fn submit_data(&mut self, mut send: DataSend, candidate: Candidate, api: &mut NodeApi<'_>) {
         if let Some(m) = &self.mgr_obs {
             m.data_enqueued.inc();
             m.event(
-                now,
-                EventKind::DataEnqueued { tech: tech_label(candidate.tech), bytes: wire_len },
+                api.now,
+                EventKind::DataEnqueued { tech: tech_label(candidate.tech), bytes: send.wire_len },
             );
         }
         let token = self.alloc_token();
-        self.pending.insert(token, Pending::Data { dest, cb, remaining, wire_len });
         let op = SendOp::SendData {
             dest: candidate.dest,
-            dest_omni: dest,
-            wire_len,
+            dest_omni: send.dest,
+            wire_len: send.wire_len,
             establish: candidate.establish,
         };
-        if let Some(q) = self.queue_of(candidate.tech) {
-            q.push(SendRequest { token, op, packed });
+        let packed = send.packed.clone();
+        if self.cfg.retry.enabled() {
+            api.set_timer(
+                MGR_TIMER_DATA_BASE + token,
+                candidate.expected + self.cfg.retry.ack_deadline,
+            );
+        }
+        send.current = Some(candidate.tech);
+        if !send.tried.contains(&candidate.tech) {
+            send.tried.push(candidate.tech);
+        }
+        self.pending.insert(token, Pending::Data(send));
+        let evicted = match self.queue_of(candidate.tech) {
+            Some(q) => q.push(SendRequest { token, op, packed }),
+            None => None,
+        };
+        self.surface_eviction(candidate.tech, evicted);
+    }
+
+    /// A bounded send queue evicted its oldest request to admit a new one.
+    /// Losing it silently would leave the application waiting forever:
+    /// fabricate a technology failure so the normal fallback / retry /
+    /// terminal-status machinery reports it instead.
+    fn surface_eviction(&mut self, tech: TechType, evicted: Option<SendRequest>) {
+        let Some(original) = evicted else { return };
+        if !self.pending.contains_key(&original.token) {
+            return; // internal copy (relay, engagement): nobody is waiting
+        }
+        let token = original.token;
+        self.response.push(TechResponse::Outcome {
+            tech,
+            token,
+            result: Err(crate::queues::TechFailure {
+                description: "send queue overflow: oldest request evicted".into(),
+                original,
+            }),
+        });
+    }
+
+    /// Advances a reliable send after a failed try: fail over to the next
+    /// candidate in this pass, back off into another pass, or report the
+    /// terminal failure naming every exhausted technology.
+    fn advance_data(
+        &mut self,
+        mut send: DataSend,
+        failed: Option<TechType>,
+        description: String,
+        api: &mut NodeApi<'_>,
+    ) {
+        let policy = self.cfg.retry;
+        if !send.remaining.is_empty() {
+            let next = send.remaining.remove(0);
+            if let Some(m) = &self.mgr_obs {
+                m.data_fallbacks.inc();
+                m.event(
+                    api.now,
+                    EventKind::DataFailedOver {
+                        from_tech: failed.map(tech_label).unwrap_or("none"),
+                        to_tech: tech_label(next.tech),
+                    },
+                );
+            }
+            api.trace(format!("omni: data to {} failing over to {}", send.dest, next.tech));
+            self.submit_data(send, next, api);
+            return;
+        }
+        if send.attempt < policy.max_attempts {
+            send.attempt += 1;
+            send.current = None;
+            let delay = policy.backoff_delay(send.attempt);
+            if let Some(m) = &self.mgr_obs {
+                m.data_retries.inc();
+                m.retry_count.record(send.attempt as u64);
+                m.backoff_us.record(delay.as_micros());
+                m.event(
+                    api.now,
+                    EventKind::DataRetried {
+                        tech: failed.map(tech_label).unwrap_or("none"),
+                        attempt: send.attempt as u64,
+                    },
+                );
+            }
+            api.trace(format!(
+                "omni: data to {} backing off {} before attempt {}",
+                send.dest, delay, send.attempt
+            ));
+            let token = self.alloc_token();
+            self.pending.insert(token, Pending::Data(send));
+            api.set_timer(MGR_TIMER_DATA_BASE + token, delay);
+            return;
+        }
+        if let Some(m) = &self.mgr_obs {
+            m.data_failed.inc();
+            m.event(
+                api.now,
+                EventKind::DataFailed { tech: failed.map(tech_label).unwrap_or("none") },
+            );
+        }
+        if let Some(cb) = send.cb {
+            let info = ResponseInfo::SendExhausted {
+                description,
+                destination: send.dest,
+                techs: send.tried.clone(),
+            };
+            self.deferred.push_back((cb, StatusCode::SendDataFailure, info));
+        }
+    }
+
+    /// A reliable-data timer fired: either the ack deadline of an in-flight
+    /// try (the technology went silent — treat the try as lost) or a backoff
+    /// wait ending (re-enumerate candidates for a fresh pass).
+    fn data_timer_fired(&mut self, token: u64, api: &mut NodeApi<'_>) {
+        let mut send = match self.pending.remove(&token) {
+            Some(Pending::Data(s)) => s,
+            Some(other) => {
+                self.pending.insert(token, other);
+                return;
+            }
+            None => return, // already concluded; stale timer
+        };
+        match send.current {
+            Some(tech) => {
+                api.trace(format!("omni: data to {} via {tech}: ack deadline expired", send.dest));
+                self.advance_data(send, Some(tech), format!("ack deadline expired on {tech}"), api);
+            }
+            None => match self.data_candidates(send.dest, send.wire_len, api.now) {
+                Some(mut cands) if !cands.is_empty() => {
+                    let first = cands.remove(0);
+                    send.remaining = cands;
+                    self.submit_data(send, first, api);
+                }
+                _ => {
+                    self.advance_data(
+                        send,
+                        None,
+                        "no applicable technology for destination".into(),
+                        api,
+                    );
+                }
+            },
+        }
+    }
+
+    /// Fails every outstanding reliable send to a peer whose record just
+    /// expired: in-flight and backed-off tries are cancelled, and the one
+    /// terminal status each send is owed is delivered now. Late technology
+    /// outcomes for the cancelled tokens are ignored by `process_response`.
+    fn cancel_sends_to(&mut self, peer: OmniAddress, api: &mut NodeApi<'_>) {
+        let mut tokens: Vec<u64> = self
+            .pending
+            .iter()
+            .filter_map(|(t, p)| match p {
+                Pending::Data(s) if s.dest == peer => Some(*t),
+                _ => None,
+            })
+            .collect();
+        tokens.sort_unstable();
+        for token in tokens {
+            let send = match self.pending.remove(&token) {
+                Some(Pending::Data(s)) => s,
+                Some(other) => {
+                    self.pending.insert(token, other);
+                    continue;
+                }
+                None => continue,
+            };
+            api.cancel_timer(MGR_TIMER_DATA_BASE + token);
+            api.trace(format!("omni: peer {peer} expired; cancelling pending send"));
+            if let Some(m) = &self.mgr_obs {
+                m.data_failed.inc();
+                m.event(
+                    api.now,
+                    EventKind::DataFailed { tech: send.current.map(tech_label).unwrap_or("none") },
+                );
+            }
+            if let Some(cb) = send.cb {
+                self.deferred.push_back((
+                    cb,
+                    StatusCode::SendDataFailure,
+                    ResponseInfo::SendExhausted {
+                        description: "peer expired; retries cancelled".into(),
+                        destination: peer,
+                        techs: send.tried.clone(),
+                    },
+                ));
+            }
         }
     }
 
@@ -1171,6 +1431,16 @@ impl OmniManager {
                 );
             }
             m.fresh_prev = fresh;
+        }
+        if self.cfg.retry.enabled() {
+            let fresh: BTreeSet<OmniAddress> =
+                self.peers.fresh_peers(api.now, self.cfg.peer_ttl).into_iter().collect();
+            let expired: Vec<OmniAddress> =
+                self.retry_fresh_prev.difference(&fresh).copied().collect();
+            self.retry_fresh_prev = fresh;
+            for peer in expired {
+                self.cancel_sends_to(peer, api);
+            }
         }
         if self.cfg.advertise_on_all_techs {
             return; // SA paradigm: everything is always engaged

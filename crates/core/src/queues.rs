@@ -134,13 +134,16 @@ impl<T> SharedQueue<T> {
         self
     }
 
-    /// Appends an item; on a full bounded queue the oldest item is dropped.
-    pub fn push(&self, item: T) {
+    /// Appends an item; on a full bounded queue the oldest item is evicted
+    /// and returned, so the caller can surface the loss (e.g. fail the
+    /// evicted send request) instead of dropping it silently.
+    pub fn push(&self, item: T) -> Option<T> {
         let stamp = self.instr.as_ref().map(|_| Instant::now());
         let mut inner = self.inner.lock();
+        let mut evicted = None;
         if let Some(cap) = inner.capacity {
             if inner.items.len() >= cap {
-                inner.items.pop_front();
+                evicted = inner.items.pop_front().map(|(old, _)| old);
                 inner.dropped += 1;
                 if let Some(i) = &self.instr {
                     i.dropped.inc();
@@ -156,6 +159,7 @@ impl<T> SharedQueue<T> {
         if let Some(i) = &self.instr {
             i.depth.set(inner.items.len() as i64);
         }
+        evicted
     }
 
     /// Removes and returns the oldest item.
@@ -395,9 +399,11 @@ mod tests {
     #[test]
     fn bounded_queue_drops_oldest() {
         let q = SharedQueue::bounded(3);
-        for i in 0..5 {
-            q.push(i);
+        for i in 0..3 {
+            assert_eq!(q.push(i), None);
         }
+        assert_eq!(q.push(3), Some(0), "eviction returns the displaced item");
+        assert_eq!(q.push(4), Some(1));
         assert_eq!(q.len(), 3);
         assert_eq!(q.dropped(), 2);
         assert_eq!(q.drain(), vec![2, 3, 4]);

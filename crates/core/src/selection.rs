@@ -29,6 +29,9 @@ pub struct Candidate {
 /// `record`, cheapest expected delivery time first.
 ///
 /// `enabled` lists the technologies this device currently has enabled;
+/// `ble_frame_overhead` is the directed-frame framing the BLE payload bound
+/// must absorb ([`frame::DIRECTED_OVERHEAD`](crate::techs::frame), or
+/// [`frame::ACKED_OVERHEAD`](crate::techs::frame) on the reliable path);
 /// `has_session` reports whether a technology already holds an open session
 /// to the given address (sessions skip connection formation).
 #[allow(clippy::too_many_arguments)]
@@ -40,6 +43,7 @@ pub fn candidates(
     timings: &LinkTimings,
     now: SimTime,
     ttl: SimDuration,
+    ble_frame_overhead: usize,
     mut has_session: impl FnMut(TechType, &LowAddr) -> bool,
 ) -> Vec<Candidate> {
     let _ = target;
@@ -90,10 +94,10 @@ pub fn candidates(
     }
 
     // BLE one-shot: fixed rendezvous latency, tight payload bound. The
-    // directed frame adds a 9-byte header on top of the packed struct.
+    // directed frame adds its framing header on top of the packed struct.
     if on(TechType::BleBeacon) {
         if let Some((ble, at)) = record.ble {
-            let framed = size as usize + HEADER_LEN + 9;
+            let framed = size as usize + HEADER_LEN + ble_frame_overhead;
             if fresh(at) && framed <= timings.ble_max_payload {
                 out.push(Candidate {
                     tech: TechType::BleBeacon,
@@ -182,6 +186,7 @@ mod tests {
             &LinkTimings::default(),
             now(),
             TTL,
+            9,
             |_, _| false,
         );
         assert_eq!(c[0].tech, TechType::WifiTcp);
@@ -200,6 +205,7 @@ mod tests {
             &LinkTimings::default(),
             now(),
             TTL,
+            9,
             |_, _| false,
         );
         assert_eq!(c.len(), 1);
@@ -217,6 +223,7 @@ mod tests {
             &LinkTimings::default(),
             now(),
             TTL,
+            9,
             |_, _| false,
         );
         assert!(c.iter().all(|x| x.tech != TechType::BleBeacon));
@@ -235,6 +242,7 @@ mod tests {
             &LinkTimings::default(),
             now(),
             TTL,
+            9,
             |_, _| false,
         );
         let tcp = c.iter().find(|x| x.tech == TechType::WifiTcp).unwrap();
@@ -254,6 +262,7 @@ mod tests {
             &LinkTimings::default(),
             now(),
             TTL,
+            9,
             |t, _| t == TechType::WifiTcp,
         );
         assert!(c[0].expected < SimDuration::from_millis(1));
@@ -272,6 +281,7 @@ mod tests {
             &LinkTimings::default(),
             late,
             TTL,
+            9,
             |_, _| false,
         );
         assert!(c.is_empty());
@@ -285,6 +295,7 @@ mod tests {
             &LinkTimings::default(),
             late,
             TTL,
+            9,
             |_, _| false,
         );
         assert_eq!(c2.len(), 1);
@@ -302,6 +313,7 @@ mod tests {
             &LinkTimings::default(),
             now(),
             TTL,
+            9,
             |_, _| false,
         );
         assert_eq!(c[0].tech, TechType::WifiTcp);

@@ -155,12 +155,15 @@ impl OmniBuilder {
         let timings: LinkTimings = LinkTimings::from_sim(runner.config());
         let mut techs: Vec<Box<dyn crate::tech::D2dTechnology>> = Vec::new();
         if self.ble {
-            techs.push(Box::new(BleBeaconTech::new(
-                own,
-                runner.ble_addr(dev),
-                timings.ble_max_payload,
-                self.ble_scan_duty,
-            )));
+            techs.push(Box::new(
+                BleBeaconTech::new(
+                    own,
+                    runner.ble_addr(dev),
+                    timings.ble_max_payload,
+                    self.ble_scan_duty,
+                )
+                .with_link_acks(self.cfg.retry.enabled()),
+            ));
         }
         if self.wifi {
             techs.push(Box::new(WifiMulticastTech::new(

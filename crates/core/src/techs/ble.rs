@@ -19,6 +19,19 @@ use crate::queues::{
 use crate::tech::D2dTechnology;
 use crate::techs::frame;
 
+/// What a pending one-shot transmission is waiting for.
+#[derive(Debug)]
+enum OneShot {
+    /// Fire-and-forget broadcast (relay, ack reply); no response is owed.
+    Forget,
+    /// Plain data send, reported `DataSent` optimistically when the burst
+    /// completes (transmit-complete, not delivery).
+    Optimistic(SendRequest),
+    /// Acked data send: the burst completing means nothing — the response is
+    /// produced when (and if) the addressee's link-layer ack arrives.
+    Acked,
+}
+
 /// The BLE beacon technology.
 #[derive(Debug)]
 pub struct BleBeaconTech {
@@ -26,14 +39,18 @@ pub struct BleBeaconTech {
     own_addr: BleAddress,
     max_payload: usize,
     scan_duty: f64,
+    /// Reliable mode: directed data frames request a link-layer ack and
+    /// `DataSent` reports genuine delivery instead of transmit-complete.
+    link_acks: bool,
     queues: Option<TechQueues>,
     /// context_id → advertising slot.
     slots: HashMap<u64, u32>,
     next_slot: u32,
-    /// One-shot sends awaiting `BleOneShotSent`, oldest first. `Some` holds
-    /// the original data request (for the response and failure replay);
-    /// `None` marks fire-and-forget relay broadcasts.
-    inflight: VecDeque<Option<SendRequest>>,
+    /// One-shot sends awaiting `BleOneShotSent`, oldest first.
+    inflight: VecDeque<OneShot>,
+    /// Acked data sends awaiting the addressee's ack, keyed by the
+    /// correlation token (= the request token).
+    awaiting: HashMap<u64, SendRequest>,
     enabled: bool,
     /// `tech.ble-beacon.failures` counter, when observability is attached.
     failures: Option<omni_obs::Counter>,
@@ -54,13 +71,23 @@ impl BleBeaconTech {
             own_addr,
             max_payload,
             scan_duty,
+            link_acks: false,
             queues: None,
             slots: HashMap::new(),
             next_slot: 0,
             inflight: VecDeque::new(),
+            awaiting: HashMap::new(),
             enabled: false,
             failures: None,
         }
+    }
+
+    /// Switches directed data sends to acked frames (the reliable data
+    /// path). Receiving acked frames and answering them works regardless of
+    /// this flag — it only changes what this device's own sends report.
+    pub fn with_link_acks(mut self, on: bool) -> Self {
+        self.link_acks = on;
+        self
     }
 
     fn respond(&self, resp: TechResponse) {
@@ -117,7 +144,7 @@ impl BleBeaconTech {
                     let encoded = packed.encode();
                     if encoded.len() <= self.max_payload {
                         api.push(Command::BleSendOneShot { payload: encoded });
-                        self.inflight.push_back(None);
+                        self.inflight.push_back(OneShot::Forget);
                     }
                 }
             }
@@ -139,7 +166,11 @@ impl BleBeaconTech {
                     self.fail(req.token, "data request without payload", req);
                     return;
                 };
-                let framed = frame::encode_directed(dest_omni, &packed);
+                let framed = if self.link_acks {
+                    frame::encode_acked(dest_omni, req.token, &packed)
+                } else {
+                    frame::encode_directed(dest_omni, &packed)
+                };
                 if framed.len() > self.max_payload {
                     self.fail(
                         req.token,
@@ -149,21 +180,52 @@ impl BleBeaconTech {
                     return;
                 }
                 api.push(Command::BleSendOneShot { payload: framed });
-                self.inflight.push_back(Some(req));
+                if self.link_acks {
+                    self.inflight.push_back(OneShot::Acked);
+                    self.awaiting.insert(req.token, req);
+                } else {
+                    self.inflight.push_back(OneShot::Optimistic(req));
+                }
             }
         }
     }
 
-    fn on_frame(&mut self, from: BleAddress, payload: &Bytes) {
+    fn on_frame(&mut self, from: BleAddress, payload: &Bytes, api: &mut NodeApi<'_>) {
         let Some(queues) = self.queues.as_ref() else {
             return;
         };
-        if let Some(packed) = frame::decode_for(self.own_omni, payload) {
-            queues.receive.push(ReceivedItem {
-                tech: TechType::BleBeacon,
-                source: LowAddr::Ble(from),
-                packed,
-            });
+        match frame::parse_for(self.own_omni, payload) {
+            frame::Incoming::Plain(packed) => {
+                queues.receive.push(ReceivedItem {
+                    tech: TechType::BleBeacon,
+                    source: LowAddr::Ble(from),
+                    packed,
+                });
+            }
+            frame::Incoming::Acked { corr, packed } => {
+                // Deliver, then acknowledge back to the sender. The ack is a
+                // fire-and-forget one-shot; losing it costs the sender a
+                // retry, nothing more. Answering is unconditional so plain
+                // receivers still satisfy reliable senders.
+                let sender = packed.source;
+                queues.receive.push(ReceivedItem {
+                    tech: TechType::BleBeacon,
+                    source: LowAddr::Ble(from),
+                    packed,
+                });
+                api.push(Command::BleSendOneShot { payload: frame::encode_ack(sender, corr) });
+                self.inflight.push_back(OneShot::Forget);
+            }
+            frame::Incoming::Ack { corr } => {
+                // Late acks for attempts the manager already abandoned hit
+                // no entry and are ignored.
+                if let Some(req) = self.awaiting.remove(&corr) {
+                    if let SendOp::SendData { dest_omni, .. } = req.op {
+                        self.ok(req.token, ResponseOk::DataSent { dest_omni });
+                    }
+                }
+            }
+            frame::Incoming::NotForUs => {}
         }
     }
 }
@@ -196,7 +258,13 @@ impl D2dTechnology for BleBeaconTech {
                 self.fail(req.token, "technology disabled", req);
             }
             while let Some(entry) = self.inflight.pop_front() {
-                if let Some(req) = entry {
+                if let OneShot::Optimistic(req) = entry {
+                    self.fail(req.token, "technology disabled", req);
+                }
+            }
+            let waiting: Vec<u64> = self.awaiting.keys().copied().collect();
+            for corr in waiting {
+                if let Some(req) = self.awaiting.remove(&corr) {
                     self.fail(req.token, "technology disabled", req);
                 }
             }
@@ -227,17 +295,17 @@ impl D2dTechnology for BleBeaconTech {
         }
     }
 
-    fn on_node_event(&mut self, event: &NodeEvent, _api: &mut NodeApi<'_>) -> bool {
+    fn on_node_event(&mut self, event: &NodeEvent, api: &mut NodeApi<'_>) -> bool {
         if !self.enabled {
             return false;
         }
         match event {
             NodeEvent::BleBeacon { from, payload } | NodeEvent::BleOneShot { from, payload } => {
-                self.on_frame(*from, payload);
+                self.on_frame(*from, payload, api);
                 true
             }
             NodeEvent::BleOneShotSent => {
-                if let Some(Some(req)) = self.inflight.pop_front() {
+                if let Some(OneShot::Optimistic(req)) = self.inflight.pop_front() {
                     if let SendOp::SendData { dest_omni, .. } = req.op {
                         self.ok(req.token, ResponseOk::DataSent { dest_omni });
                     }
@@ -370,6 +438,85 @@ mod tests {
         let item = queues.receive.pop().expect("received");
         assert_eq!(item.tech, TechType::BleBeacon);
         assert_eq!(item.packed, packed);
+    }
+
+    #[test]
+    fn acked_sends_report_on_ack_not_on_transmit() {
+        let (tech, queues) = mk();
+        let mut tech = tech.with_link_acks(true);
+        let (mut cmds,) = api_harness();
+        with_api(&mut cmds, |api| {
+            tech.enable(queues.clone(), 0, api);
+        });
+        queues.send.push(SendRequest {
+            token: 7,
+            op: SendOp::SendData {
+                dest: LowAddr::Ble(BleAddress([9; 6])),
+                dest_omni: OmniAddress::from_u64(0x99),
+                wire_len: 1,
+                establish: false,
+            },
+            packed: Some(PackedStruct::data(OmniAddress::from_u64(1), Bytes::from_static(b"x"))),
+        });
+        with_api(&mut cmds, |api| tech.poll(api));
+        let sent = cmds
+            .iter()
+            .find_map(|(_, c)| match c {
+                Command::BleSendOneShot { payload } => Some(payload.clone()),
+                _ => None,
+            })
+            .expect("one-shot queued");
+        assert_eq!(sent.first(), Some(&frame::ACKED_TAG));
+        // Transmit-complete alone must NOT produce a response.
+        with_api(&mut cmds, |api| tech.on_node_event(&NodeEvent::BleOneShotSent, api));
+        assert!(queues.response.is_empty(), "no optimistic DataSent in acked mode");
+        // The addressee's ack does.
+        let ack = frame::encode_ack(OmniAddress::from_u64(1), 7);
+        let ev = NodeEvent::BleOneShot { from: BleAddress([9; 6]), payload: ack };
+        with_api(&mut cmds, |api| tech.on_node_event(&ev, api));
+        match queues.response.pop() {
+            Some(TechResponse::Outcome {
+                token: 7,
+                result: Ok(ResponseOk::DataSent { dest_omni }),
+                ..
+            }) => assert_eq!(dest_omni, OmniAddress::from_u64(0x99)),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // A duplicate ack is ignored.
+        let dup = frame::encode_ack(OmniAddress::from_u64(1), 7);
+        let ev = NodeEvent::BleOneShot { from: BleAddress([9; 6]), payload: dup };
+        with_api(&mut cmds, |api| tech.on_node_event(&ev, api));
+        assert!(queues.response.is_empty());
+    }
+
+    #[test]
+    fn plain_receivers_answer_acked_frames() {
+        // A tech WITHOUT link acks still delivers acked frames and replies,
+        // so reliable senders work against unmodified peers.
+        let (mut tech, queues) = mk();
+        let (mut cmds,) = api_harness();
+        with_api(&mut cmds, |api| {
+            tech.enable(queues.clone(), 0, api);
+        });
+        cmds.clear();
+        let packed = PackedStruct::data(OmniAddress::from_u64(7), Bytes::from_static(b"hi"));
+        let framed = frame::encode_acked(OmniAddress::from_u64(1), 42, &packed);
+        let ev = NodeEvent::BleOneShot { from: BleAddress([9; 6]), payload: framed };
+        with_api(&mut cmds, |api| tech.on_node_event(&ev, api));
+        let item = queues.receive.pop().expect("delivered");
+        assert_eq!(item.packed, packed);
+        let reply = cmds
+            .iter()
+            .find_map(|(_, c)| match c {
+                Command::BleSendOneShot { payload } => Some(payload.clone()),
+                _ => None,
+            })
+            .expect("ack reply queued");
+        assert_eq!(
+            frame::parse_for(OmniAddress::from_u64(7), &reply),
+            frame::Incoming::Ack { corr: 42 },
+            "ack is addressed to the data frame's source"
+        );
     }
 
     #[test]

@@ -81,6 +81,33 @@ pub enum EventKind {
         /// Queue label (e.g. `"receive"`).
         queue: &'static str,
     },
+    /// A data send attempt missed its ack deadline (or failed) and was
+    /// rescheduled with backoff.
+    DataRetried {
+        /// Technology label of the attempt that was given up on.
+        tech: &'static str,
+        /// 1-based number of the attempt that failed.
+        attempt: u64,
+    },
+    /// A data send attempt moved to the next candidate technology.
+    DataFailedOver {
+        /// Technology label that failed.
+        from_tech: &'static str,
+        /// Technology label taking over.
+        to_tech: &'static str,
+    },
+    /// The fault layer activated a timed link partition between two nodes.
+    LinkPartitioned {
+        /// First endpoint (`DeviceId.0`).
+        a: u64,
+        /// Second endpoint (`DeviceId.0`).
+        b: u64,
+    },
+    /// The fault layer took a node's radios down for a churn window.
+    NodeDown {
+        /// The node (`DeviceId.0`).
+        node: u64,
+    },
 }
 
 impl EventKind {
@@ -99,6 +126,10 @@ impl EventKind {
             EventKind::DataFailed { .. } => "DataFailed",
             EventKind::ContextUpdated { .. } => "ContextUpdated",
             EventKind::QueueDropped { .. } => "QueueDropped",
+            EventKind::DataRetried { .. } => "DataRetried",
+            EventKind::DataFailedOver { .. } => "DataFailedOver",
+            EventKind::LinkPartitioned { .. } => "LinkPartitioned",
+            EventKind::NodeDown { .. } => "NodeDown",
         }
     }
 }
@@ -221,5 +252,12 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(EventKind::BeaconSent { tech: "ble-beacon" }.name(), "BeaconSent");
         assert_eq!(EventKind::QueueDropped { queue: "receive" }.name(), "QueueDropped");
+        assert_eq!(EventKind::DataRetried { tech: "ble-beacon", attempt: 1 }.name(), "DataRetried");
+        assert_eq!(
+            EventKind::DataFailedOver { from_tech: "ble-beacon", to_tech: "wifi-tcp" }.name(),
+            "DataFailedOver"
+        );
+        assert_eq!(EventKind::LinkPartitioned { a: 0, b: 1 }.name(), "LinkPartitioned");
+        assert_eq!(EventKind::NodeDown { node: 0 }.name(), "NodeDown");
     }
 }

@@ -157,6 +157,23 @@ pub fn event_json(e: &Event) -> String {
         EventKind::QueueDropped { queue } => {
             let _ = write!(out, ", \"queue\": {}", json_str(queue));
         }
+        EventKind::DataRetried { tech, attempt } => {
+            let _ = write!(out, ", \"tech\": {}, \"attempt\": {attempt}", json_str(tech));
+        }
+        EventKind::DataFailedOver { from_tech, to_tech } => {
+            let _ = write!(
+                out,
+                ", \"from_tech\": {}, \"to_tech\": {}",
+                json_str(from_tech),
+                json_str(to_tech)
+            );
+        }
+        EventKind::LinkPartitioned { a, b } => {
+            let _ = write!(out, ", \"a\": {a}, \"b\": {b}");
+        }
+        EventKind::NodeDown { node } => {
+            let _ = write!(out, ", \"node\": {node}");
+        }
     }
     out.push('}');
     out

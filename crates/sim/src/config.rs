@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultConfig;
 use crate::time::SimDuration;
 
 /// Top-level simulation configuration.
@@ -22,6 +23,8 @@ pub struct SimConfig {
     pub ble: BleParams,
     /// NFC model.
     pub nfc: NfcParams,
+    /// Fault injection (loss, jitter, partitions, churn). Default: all off.
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -32,6 +35,7 @@ impl Default for SimConfig {
             wifi: WifiParams::default(),
             ble: BleParams::default(),
             nfc: NfcParams::default(),
+            faults: FaultConfig::default(),
         }
     }
 }

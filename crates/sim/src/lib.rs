@@ -63,6 +63,7 @@
 
 mod config;
 mod energy;
+mod faults;
 mod medium;
 mod node;
 mod runner;
@@ -72,6 +73,7 @@ mod world;
 
 pub use config::{BleParams, EnergyParams, NfcParams, SimConfig, WifiParams};
 pub use energy::{EnergyLedger, EnergyState};
+pub use faults::{ChurnWindow, FaultConfig, FaultScope, LinkPartition};
 pub use node::{Command, ConnId, DeviceId, NodeApi, NodeEvent, Stack, TcpError};
 pub use runner::{DeviceCaps, Runner};
 pub use time::{SimDuration, SimTime};

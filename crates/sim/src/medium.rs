@@ -129,9 +129,8 @@ impl WifiMedium {
         removed
     }
 
-    /// Removes all flows involving a device (radio power-off). Caller must
-    /// have `advance`d first.
-    #[cfg_attr(not(test), allow(dead_code))] // connection audit removes per-conn; kept for direct device teardown
+    /// Removes all flows involving a device (radio power-off, node churn).
+    /// Caller must have `advance`d first.
     pub fn remove_device(&mut self, dev: DeviceId) -> Vec<Flow> {
         let mut removed = Vec::new();
         let mut i = 0;

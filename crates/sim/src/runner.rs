@@ -16,6 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::SimConfig;
 use crate::energy::{EnergyLedger, EnergyState};
+use crate::faults::{FaultScope, FaultState};
 use crate::medium::{Flow, McastJob, WifiMedium};
 use crate::node::{Command, ConnId, DeviceId, NodeApi, NodeEvent, Stack, TcpError};
 use crate::time::{SimDuration, SimTime};
@@ -185,6 +186,19 @@ enum Engine {
         to: Position,
         speed_mps: f64,
     },
+    /// A configured link partition window opens (tears down TCP between the
+    /// pair; subsequent reachability is checked against the window itself).
+    PartitionStart {
+        idx: usize,
+    },
+    /// A churn window takes a node's radios down.
+    ChurnDown {
+        dev: DeviceId,
+    },
+    /// A churn window ends: the node's radios come back.
+    ChurnUp {
+        dev: DeviceId,
+    },
 }
 
 /// Cached tx/rx meters for one technology; handles are atomic, so the
@@ -225,6 +239,7 @@ struct RunnerObs {
     tcp: TechMeters,
     nfc: TechMeters,
     beacon_interval_us: Histogram,
+    fault_drops: Counter,
 }
 
 struct Scheduled {
@@ -268,6 +283,7 @@ pub struct Runner {
     timer_gens: HashMap<(usize, u64), u64>,
     cmd_buf: Vec<(DeviceId, Command)>,
     obs: Option<RunnerObs>,
+    faults: FaultState,
 }
 
 impl std::fmt::Debug for Runner {
@@ -285,7 +301,8 @@ impl Runner {
     pub fn new(cfg: SimConfig) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let medium = WifiMedium::new(cfg.wifi.capacity_bps);
-        Runner {
+        let faults = FaultState::new(cfg.seed, cfg.faults.clone());
+        let mut runner = Runner {
             cfg,
             now: SimTime::ZERO,
             seq: 0,
@@ -302,7 +319,31 @@ impl Runner {
             timer_gens: HashMap::new(),
             cmd_buf: Vec::new(),
             obs: None,
+            faults,
+        };
+        // Materialize configured fault windows as engine events. A default
+        // (empty) FaultConfig schedules nothing, keeping the event sequence
+        // byte-identical to a fault-free build.
+        for (idx, p) in runner.cfg.faults.partitions.clone().into_iter().enumerate() {
+            runner.schedule(
+                SimDuration::from_micros(p.from.as_micros()),
+                Engine::PartitionStart { idx },
+            );
         }
+        for w in runner.cfg.faults.churn.clone() {
+            let dev = DeviceId(w.dev);
+            runner.schedule(
+                SimDuration::from_micros(w.down_at.as_micros()),
+                Engine::ChurnDown { dev },
+            );
+            runner.schedule(SimDuration::from_micros(w.up_at.as_micros()), Engine::ChurnUp { dev });
+        }
+        runner
+    }
+
+    /// Frames dropped so far by fault-layer loss injection (all media).
+    pub fn fault_frames_dropped(&self) -> u64 {
+        self.faults.frames_dropped
     }
 
     /// Attaches an observability handle. The runner records per-technology
@@ -317,6 +358,7 @@ impl Runner {
             tcp: TechMeters::new(&obs, "wifi-tcp"),
             nfc: TechMeters::new(&obs, "nfc"),
             beacon_interval_us: obs.histogram("beacon.interval_us"),
+            fault_drops: obs.counter("sim.faults.frames_dropped"),
             obs,
         });
     }
@@ -648,6 +690,7 @@ impl Runner {
                     || !self.world.in_range(c.a, c.b, range)
                     || !self.devices[c.a.0].wifi_on
                     || !self.devices[c.b.0].wifi_on
+                    || !self.faults.link_ok(c.a, c.b, self.now, FaultScope::Wifi)
             })
             .map(|(i, _)| ConnId(i as u64))
             .collect();
@@ -871,6 +914,10 @@ impl Runner {
             self.trace.record(self.now, dev, "ble oneshot ignored: radio off");
             return;
         }
+        if self.faults.is_down(dev) {
+            self.trace.record(self.now, dev, "ble oneshot muted: node down");
+            return;
+        }
         self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.oneshot_pulse);
         if let Some(o) = &self.obs {
             o.ble.tx(payload.len());
@@ -880,10 +927,20 @@ impl Runner {
             .world
             .neighbors(dev, self.cfg.ble.range_m)
             .filter(|&n| self.devices[n.0].ble_on && self.devices[n.0].ble_scan_duty.is_some())
+            .filter(|&n| self.faults.link_ok(dev, n, self.now, FaultScope::Ble))
             .collect();
+        let loss = self.cfg.faults.ble_loss;
+        let jitter_max = self.cfg.faults.ble_jitter;
         for to in recipients {
+            if self.faults.lose(loss) {
+                if let Some(o) = &self.obs {
+                    o.fault_drops.inc();
+                }
+                continue;
+            }
+            let delay = latency + self.faults.jitter(jitter_max);
             self.schedule(
-                latency,
+                delay,
                 Engine::BleOneShotDeliver { to, from: dev, payload: payload.clone() },
             );
         }
@@ -966,18 +1023,37 @@ impl Runner {
             );
             return;
         }
+        if self.faults.is_down(dev) {
+            self.schedule(
+                SimDuration::ZERO,
+                Engine::TcpConnectFail { dev, token, error: TcpError::RadioOff },
+            );
+            return;
+        }
         let target = self.mesh_index.get(&peer).copied();
         let ok = target.map(|t| {
             t != dev
                 && self.devices[t.0].wifi_on
                 && self.world.in_range(dev, t, self.cfg.wifi.range_m)
+                && self.faults.link_ok(dev, t, self.now, FaultScope::Wifi)
         });
         match (target, ok) {
             (Some(t), Some(true)) => {
-                self.schedule(
-                    self.cfg.wifi.tcp_connect_time,
-                    Engine::TcpConnectDone { initiator: dev, token, target: t },
-                );
+                if self.faults.lose(self.cfg.faults.tcp_connect_loss) {
+                    if let Some(o) = &self.obs {
+                        o.fault_drops.inc();
+                    }
+                    self.trace.record(self.now, dev, "tcp connect lost: fault injection");
+                    self.schedule(
+                        self.cfg.wifi.tcp_connect_time,
+                        Engine::TcpConnectFail { dev, token, error: TcpError::Unreachable },
+                    );
+                } else {
+                    self.schedule(
+                        self.cfg.wifi.tcp_connect_time,
+                        Engine::TcpConnectDone { initiator: dev, token, target: t },
+                    );
+                }
             }
             (Some(t), _) if !self.devices[t.0].wifi_on => {
                 self.schedule(
@@ -1027,6 +1103,10 @@ impl Runner {
             self.trace.record(self.now, dev, "nfc send ignored: no nfc hardware");
             return;
         }
+        if self.faults.is_down(dev) {
+            self.trace.record(self.now, dev, "nfc send muted: node down");
+            return;
+        }
         if let Some(o) = &self.obs {
             o.nfc.tx(payload.len());
         }
@@ -1034,8 +1114,16 @@ impl Runner {
             .world
             .neighbors(dev, self.cfg.nfc.range_m)
             .filter(|&n| self.devices[n.0].caps.nfc)
+            .filter(|&n| self.faults.link_ok(dev, n, self.now, FaultScope::Nfc))
             .collect();
+        let loss = self.cfg.faults.nfc_loss;
         for to in recipients {
+            if self.faults.lose(loss) {
+                if let Some(o) = &self.obs {
+                    o.fault_drops.inc();
+                }
+                continue;
+            }
             self.schedule(
                 self.cfg.nfc.touch_latency,
                 Engine::NfcDeliver { to, from: dev, payload: payload.clone() },
@@ -1098,7 +1186,10 @@ impl Runner {
             Engine::BleAdv { dev, slot, gen } => self.ble_adv_tick(dev, slot, gen),
             Engine::BleOneShotDeliver { to, from, payload } => {
                 let d = &self.devices[to.0];
-                if d.ble_on && d.ble_scan_duty.is_some() {
+                if d.ble_on
+                    && d.ble_scan_duty.is_some()
+                    && self.faults.link_ok(from, to, self.now, FaultScope::Ble)
+                {
                     let from_addr = self.devices[from.0].ble_addr;
                     if let Some(o) = &self.obs {
                         o.ble.rx(payload.len());
@@ -1121,6 +1212,7 @@ impl Runner {
                     .world
                     .neighbors(dev, self.cfg.wifi.range_m)
                     .filter(|&n| self.devices[n.0].wifi_on)
+                    .filter(|&n| self.faults.link_ok(dev, n, self.now, FaultScope::Wifi))
                     .map(|n| self.devices[n.0].mesh_addr)
                     .collect();
                 self.deliver(dev, NodeEvent::WifiScanDone { found });
@@ -1143,7 +1235,8 @@ impl Runner {
             Engine::TcpConnectDone { initiator, token, target } => {
                 let viable = self.devices[initiator.0].wifi_on
                     && self.devices[target.0].wifi_on
-                    && self.world.in_range(initiator, target, self.cfg.wifi.range_m);
+                    && self.world.in_range(initiator, target, self.cfg.wifi.range_m)
+                    && self.faults.link_ok(initiator, target, self.now, FaultScope::Wifi);
                 if !viable {
                     self.deliver(
                         initiator,
@@ -1175,7 +1268,9 @@ impl Runner {
             }
             Engine::McastDone { gen } => self.mcast_done(gen),
             Engine::NfcDeliver { to, from, payload } => {
-                if self.world.in_range(to, from, self.cfg.nfc.range_m) {
+                if self.world.in_range(to, from, self.cfg.nfc.range_m)
+                    && self.faults.link_ok(to, from, self.now, FaultScope::Nfc)
+                {
                     let from_addr = self.devices[from.0].nfc_addr;
                     if let Some(o) = &self.obs {
                         o.nfc.rx(payload.len());
@@ -1206,7 +1301,82 @@ impl Runner {
                 }
                 self.audit_connections(dev, false);
             }
+            Engine::PartitionStart { idx } => self.partition_start(idx),
+            Engine::ChurnDown { dev } => self.churn_down(dev),
+            Engine::ChurnUp { dev } => self.churn_up(dev),
         }
+    }
+
+    /// Opens a configured partition window: tears down open TCP connections
+    /// between the pair (when the scope covers WiFi) and records the event.
+    /// Ongoing reachability during the window is enforced by the pure
+    /// [`FaultState::link_ok`] checks at every delivery point, so nothing
+    /// needs to happen when the window closes.
+    fn partition_start(&mut self, idx: usize) {
+        let Some(p) = self.cfg.faults.partitions.get(idx).copied() else {
+            return;
+        };
+        let (a, b) = (DeviceId(p.a), DeviceId(p.b));
+        self.trace.record(
+            self.now,
+            a,
+            format!("fault: link to dev{} partitioned ({:?}) until {}us", p.b, p.scope, p.until),
+        );
+        if let Some(o) = &self.obs {
+            o.obs.event(
+                self.now.as_micros(),
+                a.0 as u32,
+                EventKind::LinkPartitioned { a: p.a as u64, b: p.b as u64 },
+            );
+        }
+        if p.scope.covers(FaultScope::Wifi) {
+            let to_close: Vec<ConnId> = self
+                .conns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.open && c.involves(a) && c.involves(b))
+                .map(|(i, _)| ConnId(i as u64))
+                .collect();
+            for id in to_close {
+                self.close_conn(id, true, true);
+            }
+        }
+    }
+
+    /// Takes a node's radios down for a churn window. Device state (slots,
+    /// join status, scan duty) is preserved — the fault layer mutes frames at
+    /// the delivery points — but in-flight WiFi activity is flushed through
+    /// the medium's removal paths so flows fail like a real radio cut.
+    fn churn_down(&mut self, dev: DeviceId) {
+        if dev.0 >= self.devices.len() || self.faults.is_down(dev) {
+            return;
+        }
+        self.faults.set_down(dev, true);
+        self.trace.record(self.now, dev, "fault: node down (churn)");
+        if let Some(o) = &self.obs {
+            o.obs.event(
+                self.now.as_micros(),
+                dev.0 as u32,
+                EventKind::NodeDown { node: dev.0 as u64 },
+            );
+        }
+        let _ = self.medium.advance(self.now);
+        if self.medium.cancel_mcast_for(dev) {
+            self.energy.leave(dev, self.now, EnergyState::McastTx);
+        }
+        self.audit_connections(dev, true);
+        let _ = self.medium.advance(self.now);
+        let _flushed = self.medium.remove_device(dev);
+        self.resched_boundary();
+        self.sync_flow_energy(dev);
+    }
+
+    fn churn_up(&mut self, dev: DeviceId) {
+        if dev.0 >= self.devices.len() || !self.faults.is_down(dev) {
+            return;
+        }
+        self.faults.set_down(dev, false);
+        self.trace.record(self.now, dev, "fault: node up (churn)");
     }
 
     fn ble_adv_tick(&mut self, dev: DeviceId, slot: u32, gen: u64) {
@@ -1220,6 +1390,12 @@ impl Runner {
                 _ => return,
             }
         };
+        if self.faults.is_down(dev) {
+            // Keep the slot cadence alive so advertising resumes when the
+            // churn window ends.
+            self.schedule(interval, Engine::BleAdv { dev, slot, gen });
+            return;
+        }
         self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.adv_pulse);
         if let Some(o) = &self.obs {
             o.ble.tx(payload.len());
@@ -1243,10 +1419,20 @@ impl Runner {
             })
             .collect();
         self.schedule(interval, Engine::BleAdv { dev, slot, gen });
+        let loss = self.cfg.faults.ble_loss;
         for (to, duty) in candidates {
             // A duty-cycled scanner only catches the beacon when its scan
             // window overlaps the advertising event.
             if duty >= 1.0 || self.rng.gen_bool(duty) {
+                if !self.faults.link_ok(dev, to, self.now, FaultScope::Ble) {
+                    continue;
+                }
+                if self.faults.lose(loss) {
+                    if let Some(o) = &self.obs {
+                        o.fault_drops.inc();
+                    }
+                    continue;
+                }
                 if let Some(o) = &self.obs {
                     o.ble.rx(payload.len());
                 }
@@ -1272,13 +1458,13 @@ impl Runner {
             self.start_mcast(next_job);
         }
         self.resched_boundary();
-        let sender_on = self.devices[job.sender.0].wifi_on;
+        let sender_on = self.devices[job.sender.0].wifi_on && !self.faults.is_down(job.sender);
         if sender_on {
             self.deliver(job.sender, NodeEvent::McastSendComplete);
         }
-        let sender_state = &self.devices[job.sender.0];
-        if sender_state.wifi_on {
-            let from = sender_state.mesh_addr;
+        // Re-check: the completion callback may have powered the radio off.
+        if self.devices[job.sender.0].wifi_on && !self.faults.is_down(job.sender) {
+            let from = self.devices[job.sender.0].mesh_addr;
             let recipients: Vec<DeviceId> = self
                 .world
                 .neighbors(job.sender, self.cfg.wifi.range_m)
@@ -1286,8 +1472,16 @@ impl Runner {
                     let d = &self.devices[n.0];
                     d.wifi_on && d.wifi_joined && d.wifi_mcast_listen
                 })
+                .filter(|&n| self.faults.link_ok(job.sender, n, self.now, FaultScope::Wifi))
                 .collect();
+            let loss = self.cfg.faults.mcast_loss;
             for to in recipients {
+                if self.faults.lose(loss) {
+                    if let Some(o) = &self.obs {
+                        o.fault_drops.inc();
+                    }
+                    continue;
+                }
                 if let Some(o) = &self.obs {
                     o.mcast.rx(job.payload.len());
                 }

@@ -4,7 +4,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::OmniAddress;
+use crate::{OmniAddress, TechType};
 
 /// Response codes delivered to `status_callback(code, response_info)`
 /// (paper §3.1, Table 2).
@@ -83,6 +83,17 @@ pub enum ResponseInfo {
         /// The destination the send was addressed to.
         destination: OmniAddress,
     },
+    /// A data send that exhausted its retry budget across every applicable
+    /// technology (`SEND_DATA_FAILURE` from the reliable data path).
+    SendExhausted {
+        /// Human-readable failure description.
+        description: String,
+        /// The destination the send was addressed to.
+        destination: OmniAddress,
+        /// Every technology that was attempted before giving up, in first-try
+        /// order.
+        techs: Vec<TechType>,
+    },
 }
 
 impl ResponseInfo {
@@ -99,7 +110,17 @@ impl ResponseInfo {
     pub fn destination(&self) -> Option<OmniAddress> {
         match self {
             ResponseInfo::Destination(d) => Some(*d),
-            ResponseInfo::SendFailure { destination, .. } => Some(*destination),
+            ResponseInfo::SendFailure { destination, .. }
+            | ResponseInfo::SendExhausted { destination, .. } => Some(*destination),
+            _ => None,
+        }
+    }
+
+    /// The technologies a terminally failed send exhausted, when the failure
+    /// came from the reliable data path.
+    pub fn exhausted_techs(&self) -> Option<&[TechType]> {
+        match self {
+            ResponseInfo::SendExhausted { techs, .. } => Some(techs),
             _ => None,
         }
     }
@@ -116,6 +137,16 @@ impl fmt::Display for ResponseInfo {
             ResponseInfo::Destination(d) => write!(f, "destination {d}"),
             ResponseInfo::SendFailure { description, destination } => {
                 write!(f, "send to {destination} failed: {description}")
+            }
+            ResponseInfo::SendExhausted { description, destination, techs } => {
+                write!(f, "send to {destination} failed: {description} (exhausted")
+                    .and_then(|()| {
+                        for t in techs {
+                            write!(f, " {t}")?;
+                        }
+                        Ok(())
+                    })
+                    .and_then(|()| write!(f, ")"))
             }
         }
     }
@@ -157,6 +188,17 @@ mod tests {
         assert_eq!(ResponseInfo::Destination(d).context_id(), None);
         let fail = ResponseInfo::SendFailure { description: "timeout".into(), destination: d };
         assert_eq!(fail.destination(), Some(d));
+        assert_eq!(fail.exhausted_techs(), None);
+        let exhausted = ResponseInfo::SendExhausted {
+            description: "retry budget spent".into(),
+            destination: d,
+            techs: vec![TechType::BleBeacon, TechType::WifiTcp],
+        };
+        assert_eq!(exhausted.destination(), Some(d));
+        assert_eq!(
+            exhausted.exhausted_techs(),
+            Some(&[TechType::BleBeacon, TechType::WifiTcp][..])
+        );
         let cfail =
             ResponseInfo::ContextFailure { description: "no tech".into(), context_id: Some(9) };
         assert_eq!(cfail.context_id(), Some(9));
@@ -170,8 +212,25 @@ mod tests {
             ResponseInfo::ContextFailure { description: "x".into(), context_id: None },
             ResponseInfo::Destination(d),
             ResponseInfo::SendFailure { description: "x".into(), destination: d },
+            ResponseInfo::SendExhausted {
+                description: "x".into(),
+                destination: d,
+                techs: vec![TechType::BleBeacon],
+            },
         ] {
             assert!(!r.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn exhausted_display_names_the_techs() {
+        let r = ResponseInfo::SendExhausted {
+            description: "retry budget spent".into(),
+            destination: OmniAddress::from_u64(7),
+            techs: vec![TechType::BleBeacon, TechType::WifiTcp],
+        };
+        let s = r.to_string();
+        assert!(s.contains("ble-beacon"), "{s}");
+        assert!(s.contains("wifi-tcp"), "{s}");
     }
 }

@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== reliability smoke (fault matrix) =="
+cargo run --release -p omni-bench --bin reliability -- --smoke
+
 echo "ci: all green"

@@ -5,8 +5,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use omni::core::{ContextParams, OmniBuilder, OmniStack};
-use omni::sim::{DeviceCaps, DeviceId, Position, Runner, SimConfig, SimDuration, SimTime};
+use omni::core::{ContextParams, OmniBuilder, OmniStack, RetryPolicy};
+use omni::sim::{
+    ChurnWindow, DeviceCaps, DeviceId, FaultConfig, FaultScope, LinkPartition, Position, Runner,
+    SimConfig, SimDuration, SimTime,
+};
 use omni::wire::{OmniAddress, StatusCode, TechType};
 
 #[allow(clippy::type_complexity)]
@@ -236,6 +239,125 @@ fn data_tech_restriction_is_honored() {
     sim.set_stack(b, Box::new(stack_b));
     sim.run_until(SimTime::from_secs(6));
     assert_eq!(statuses.borrow().as_slice(), &[StatusCode::SendDataFailure]);
+}
+
+/// Reliable data path under injected faults, in three acts with one pair:
+///
+/// 1. A WiFi-scoped partition cuts the mesh while a send is in flight —
+///    the manager fails over to BLE (the second engaged technology) and the
+///    payload is delivered, with a single success status.
+/// 2. The peer then reboots (churn window): its radios mute, its peer
+///    record expires, and the send issued during the outage is cancelled —
+///    exactly one terminal failure naming the expiry, and no late callback
+///    when the technologies' outcomes straggle in afterwards.
+/// 3. After the reboot the peer's beacons resume and it is re-discovered.
+#[test]
+fn partition_fails_over_and_churn_cancels_retries() {
+    let sim_cfg = SimConfig {
+        faults: FaultConfig {
+            // Mesh cut while send #1 is in flight.
+            partitions: vec![LinkPartition::new(
+                0,
+                1,
+                SimTime::from_millis(2_500),
+                SimTime::from_secs(8),
+            )
+            .scoped(FaultScope::Wifi)],
+            // Peer reboot long enough for its record to expire (ttl 3 s).
+            churn: vec![ChurnWindow {
+                dev: 1,
+                down_at: SimTime::from_secs(10),
+                up_at: SimTime::from_secs(25),
+            }],
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut sim = Runner::new(sim_cfg);
+    sim.trace_mut().set_enabled(false);
+    let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
+    let b = sim.add_device(DeviceCaps::PI, Position::new(5.0, 0.0));
+    let dest = OmniBuilder::omni_address(&sim, b);
+    let cfg = omni::core::OmniConfig {
+        data_techs: Some(vec![TechType::WifiTcp, TechType::BleBeacon]),
+        // Enough passes that send #2 would still be retrying at expiry time
+        // if nothing cancelled it.
+        retry: RetryPolicy { max_attempts: 20, ..RetryPolicy::reliable() },
+        ..Default::default()
+    };
+
+    // (timestamp, status, rendered info) per send.
+    type Log = Rc<RefCell<Vec<(SimTime, StatusCode, String)>>>;
+    let send1: Log = Rc::new(RefCell::new(Vec::new()));
+    let send2: Log = Rc::new(RefCell::new(Vec::new()));
+    // Act 3 witness: a's context receipts from the rebooted peer.
+    let a_heard: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+    let mgr = OmniBuilder::new().with_ble().with_wifi().with_config(cfg.clone()).build(&sim, a);
+    let (s1, s2, ah) = (send1.clone(), send2.clone(), a_heard.clone());
+    sim.set_stack(
+        a,
+        Box::new(OmniStack::new(mgr, move |omni| {
+            let (s1b, s2b) = (s1.clone(), s2.clone());
+            omni.request_timers(Box::new(move |token, o| {
+                let log = if token == 1 { s1b.clone() } else { s2b.clone() };
+                o.send_data(
+                    vec![dest],
+                    Bytes::from_static(b"hello"),
+                    Box::new(move |code, info, o2| {
+                        log.borrow_mut().push((o2.now, code, format!("{info}")));
+                    }),
+                );
+            }));
+            let ah2 = ah.clone();
+            omni.request_context(Box::new(move |_, _, o| ah2.borrow_mut().push(o.now)));
+            // Send #1 mid-partition; send #2 just after the peer goes down.
+            omni.set_timer(1, SimDuration::from_secs(3));
+            omni.set_timer(2, SimDuration::from_millis(10_200));
+        })),
+    );
+
+    type ReceiptLog = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+    let got: ReceiptLog = Rc::new(RefCell::new(Vec::new()));
+    let mgr = OmniBuilder::new().with_ble().with_wifi().with_config(cfg).build(&sim, b);
+    let g = got.clone();
+    sim.set_stack(
+        b,
+        Box::new(OmniStack::new(mgr, move |omni| {
+            omni.add_context(
+                ContextParams::default(),
+                Bytes::from_static(b"svc"),
+                Box::new(|_, _, _| {}),
+            );
+            let g2 = g.clone();
+            omni.request_data(Box::new(move |_, payload, o| {
+                g2.borrow_mut().push((o.now, payload.to_vec()));
+            }));
+        })),
+    );
+
+    sim.run_until(SimTime::from_secs(40));
+
+    // Act 1: failover delivered despite the mesh cut.
+    let send1 = send1.borrow();
+    assert_eq!(send1.len(), 1, "send #1 concluded exactly once: {send1:?}");
+    assert_eq!(send1[0].1, StatusCode::SendDataSuccess, "failover to BLE delivered: {send1:?}");
+    assert!(got.borrow().iter().any(|(_, p)| p == b"hello"), "payload arrived at the receiver");
+
+    // Act 2: the send issued during the outage was cancelled at expiry —
+    // exactly one terminal status, before the peer comes back at 25 s.
+    let send2 = send2.borrow();
+    assert_eq!(send2.len(), 1, "send #2 concluded exactly once: {send2:?}");
+    assert_eq!(send2[0].1, StatusCode::SendDataFailure, "{send2:?}");
+    assert!(send2[0].0 < SimTime::from_secs(20), "cancelled at expiry, not exhausted: {send2:?}");
+    assert!(send2[0].2.contains("expired"), "failure names the peer expiry: {}", send2[0].2);
+
+    // Act 3: the rebooted peer was re-discovered — a hears b's context
+    // again well after the churn window closed at 25 s.
+    let last_heard = *a_heard.borrow().last().expect("a heard b's context");
+    assert!(
+        last_heard > SimTime::from_secs(26),
+        "a hears the rebooted peer again: last receipt {last_heard}"
+    );
 }
 
 /// NFC carries context at touch range through the same API.
