@@ -5,6 +5,7 @@
 //! (Table 4) lands near the paper's measurements. See `DESIGN.md` §2 for the
 //! calibration rationale.
 
+use omni_wire::TechType;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::FaultConfig;
@@ -37,6 +38,29 @@ impl Default for SimConfig {
             nfc: NfcParams::default(),
             faults: FaultConfig::default(),
         }
+    }
+}
+
+impl SimConfig {
+    /// The radio range, in meters, of a technology.
+    ///
+    /// This is the single authority for per-technology ranges: every
+    /// neighbor query and reachability check in the runner goes through it,
+    /// so no two call sites can disagree about a technology's range. (Both
+    /// WiFi technologies share the mesh radio and therefore its range.)
+    pub fn range_m(&self, tech: TechType) -> f64 {
+        match tech {
+            TechType::Nfc => self.nfc.range_m,
+            TechType::BleBeacon => self.ble.range_m,
+            TechType::WifiMulticast | TechType::WifiTcp => self.wifi.range_m,
+        }
+    }
+
+    /// The largest configured radio range, used as the spatial grid's cell
+    /// size (see `World`): with cells this big, any per-technology neighbor
+    /// query fits in a 3×3 cell neighborhood.
+    pub fn max_range_m(&self) -> f64 {
+        TechType::ALL.iter().map(|&t| self.range_m(t)).fold(0.0, f64::max)
     }
 }
 
@@ -211,5 +235,26 @@ mod tests {
         let c = SimConfig::default();
         let c2 = c.clone();
         assert_eq!(c2.wifi.scan_time, c.wifi.scan_time);
+    }
+
+    /// Pins the per-technology range constants and the fact that
+    /// `range_m` is the same value callers would read from the raw params —
+    /// there is exactly one place a technology's range can come from.
+    #[test]
+    fn per_technology_ranges_are_centralized_and_pinned() {
+        let c = SimConfig::default();
+        assert_eq!(c.range_m(TechType::BleBeacon), 30.0);
+        assert_eq!(c.range_m(TechType::WifiTcp), 100.0);
+        assert_eq!(c.range_m(TechType::WifiMulticast), 100.0);
+        assert_eq!(c.range_m(TechType::Nfc), 0.15);
+        // The accessor is the params, not a copy that could drift.
+        assert_eq!(c.range_m(TechType::BleBeacon), c.ble.range_m);
+        assert_eq!(c.range_m(TechType::WifiTcp), c.wifi.range_m);
+        assert_eq!(c.range_m(TechType::WifiMulticast), c.wifi.range_m);
+        assert_eq!(c.range_m(TechType::Nfc), c.nfc.range_m);
+        // Both WiFi technologies share the mesh radio's range.
+        assert_eq!(c.range_m(TechType::WifiTcp), c.range_m(TechType::WifiMulticast));
+        // Grid cell size = the maximum range (WiFi, by default).
+        assert_eq!(c.max_range_m(), 100.0);
     }
 }

@@ -78,4 +78,4 @@ pub use node::{Command, ConnId, DeviceId, NodeApi, NodeEvent, Stack, TcpError};
 pub use runner::{DeviceCaps, Runner};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};
-pub use world::{Position, World};
+pub use world::{Position, World, DEFAULT_CELL_M};

@@ -314,6 +314,12 @@ impl<'a> NodeApi<'a> {
 /// Implementations must be deterministic functions of the event sequence:
 /// no wall-clock, no global state. All randomness must come from seeds fed
 /// in at construction.
+///
+/// Broadcast events (BLE beacons and one-shots, multicast datagrams, NFC
+/// exchanges) fan out to recipients in **ascending [`DeviceId`] order** —
+/// the spatial neighbor index sorts its results (see `World`), so delivery
+/// order is part of the determinism contract and never depends on placement
+/// history or hash-map internals.
 pub trait Stack {
     /// Handles one event. Queue follow-up work as commands on `api`.
     fn on_event(&mut self, event: NodeEvent, api: &mut NodeApi<'_>);

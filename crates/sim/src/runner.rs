@@ -10,7 +10,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use bytes::Bytes;
 use omni_obs::{Counter, EventKind, Histogram, Obs};
-use omni_wire::{BleAddress, MeshAddress, NfcAddress};
+use omni_wire::{BleAddress, MeshAddress, NfcAddress, TechType};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,7 +64,15 @@ struct DeviceState {
     caps: DeviceCaps,
     ble_on: bool,
     ble_scan_duty: Option<f64>,
-    ble_slots: HashMap<u32, BleSlot>,
+    /// Advertising slots, keyed by caller-chosen slot id. A Vec, not a map:
+    /// devices have one or two slots and the beacon tick probes this on
+    /// every pulse.
+    ble_slots: Vec<(u32, BleSlot)>,
+    /// Next advertising generation. Monotonic per device and never reused —
+    /// a slot that is stopped and re-registered must not produce a
+    /// generation an already-scheduled pulse of the old registration could
+    /// match, or the beacon cadence doubles.
+    ble_next_gen: u64,
     ble_addr: BleAddress,
     wifi_on: bool,
     wifi_joined: bool,
@@ -132,10 +140,13 @@ enum Engine {
         slot: u32,
         gen: u64,
     },
+    /// Payload boxed: `Bytes` would dominate the enum's size, and every
+    /// event heap operation moves a full `Engine` — keep the hot variants'
+    /// footprint small and pay one allocation on the rare delivery events.
     BleOneShotDeliver {
         to: DeviceId,
         from: DeviceId,
-        payload: Bytes,
+        payload: Box<Bytes>,
     },
     BleOneShotSent {
         dev: DeviceId,
@@ -168,10 +179,11 @@ enum Engine {
     McastDone {
         gen: u64,
     },
+    /// Payload boxed for the same footprint reason as `BleOneShotDeliver`.
     NfcDeliver {
         to: DeviceId,
         from: DeviceId,
-        payload: Bytes,
+        payload: Box<Bytes>,
     },
     InfraChunkDone {
         dev: DeviceId,
@@ -282,6 +294,12 @@ pub struct Runner {
     mesh_index: HashMap<MeshAddress, DeviceId>,
     timer_gens: HashMap<(usize, u64), u64>,
     cmd_buf: Vec<(DeviceId, Command)>,
+    /// Pooled recipient buffer for broadcast fan-out (beacons, one-shots,
+    /// multicast, NFC, scans): taken, filled from the spatial grid, and put
+    /// back, so the steady-state hot path allocates nothing.
+    nbr_buf: Vec<DeviceId>,
+    /// Pooled `(recipient, scan duty)` buffer for the BLE advertising tick.
+    adv_buf: Vec<(DeviceId, f64)>,
     obs: Option<RunnerObs>,
     faults: FaultState,
 }
@@ -302,13 +320,16 @@ impl Runner {
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let medium = WifiMedium::new(cfg.wifi.capacity_bps);
         let faults = FaultState::new(cfg.seed, cfg.faults.clone());
+        // Grid cell = the largest radio range, so every per-technology
+        // neighbor query stays within a 3×3 cell neighborhood.
+        let world = World::with_cell_size(cfg.max_range_m());
         let mut runner = Runner {
             cfg,
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
             rng,
-            world: World::new(),
+            world,
             energy: EnergyLedger::new(),
             trace: Trace::new(),
             devices: Vec::new(),
@@ -318,6 +339,8 @@ impl Runner {
             mesh_index: HashMap::new(),
             timer_gens: HashMap::new(),
             cmd_buf: Vec::new(),
+            nbr_buf: Vec::new(),
+            adv_buf: Vec::new(),
             obs: None,
             faults,
         };
@@ -398,6 +421,14 @@ impl Runner {
         &self.world
     }
 
+    /// Forces (or stops forcing) neighbor resolution through the retained
+    /// brute-force linear scan instead of the spatial grid. Both modes are
+    /// bit-identical in behavior (see `World::neighbors_scan`); the `scale`
+    /// bench and equivalence tests use this to compare whole runs.
+    pub fn set_brute_force_neighbors(&mut self, on: bool) {
+        self.world.set_brute_force(on);
+    }
+
     /// Adds a device with the given radios at the given position.
     /// Present radios start powered on (WiFi standby draw starts accruing
     /// immediately, as on the paper's testbed).
@@ -423,7 +454,8 @@ impl Runner {
             caps,
             ble_on: caps.ble,
             ble_scan_duty: None,
-            ble_slots: HashMap::new(),
+            ble_slots: Vec::new(),
+            ble_next_gen: 1,
             ble_addr,
             wifi_on: caps.wifi,
             wifi_joined: false,
@@ -584,10 +616,13 @@ impl Runner {
             stack.on_event(event, &mut api);
         }
         self.stacks[dev.0] = Some(stack);
-        let drained: Vec<_> = std::mem::take(&mut cmds);
-        self.cmd_buf = cmds;
-        for (d, cmd) in drained {
+        for (d, cmd) in cmds.drain(..) {
             self.apply(d, cmd);
+        }
+        // Restore the pooled buffer (a reentrant `deliver` from `apply` took
+        // a fresh one; keep whichever has capacity).
+        if cmds.capacity() > self.cmd_buf.capacity() {
+            self.cmd_buf = cmds;
         }
     }
 
@@ -679,7 +714,7 @@ impl Runner {
 
     /// Fails every open connection involving `dev` that is no longer viable.
     fn audit_connections(&mut self, dev: DeviceId, force_all: bool) {
-        let range = self.cfg.wifi.range_m;
+        let range = self.cfg.range_m(TechType::WifiTcp);
         let to_fail: Vec<ConnId> = self
             .conns
             .iter()
@@ -749,10 +784,9 @@ impl Runner {
                 self.ble_advertise_set(dev, slot, payload, interval)
             }
             Command::BleAdvertiseStop { slot } => {
-                if let Some(s) = self.devices[dev.0].ble_slots.get_mut(&slot) {
-                    s.gen += 1;
-                }
-                self.devices[dev.0].ble_slots.remove(&slot);
+                // Stale pulses die on the generation check; generations are
+                // never reused, so no bump is needed here.
+                self.devices[dev.0].ble_slots.retain(|&(s, _)| s != slot);
             }
             Command::BleSendOneShot { payload } => self.ble_send_oneshot(dev, payload),
             Command::WifiPower(on) => {
@@ -842,9 +876,6 @@ impl Runner {
             d.ble_on = true;
         } else {
             d.ble_on = false;
-            for s in d.ble_slots.values_mut() {
-                s.gen += 1;
-            }
             d.ble_slots.clear();
             if d.ble_scan_duty.take().is_some() {
                 self.energy.leave(dev, self.now, EnergyState::BleScan);
@@ -896,8 +927,13 @@ impl Runner {
             self.trace.record(self.now, dev, "ble advert ignored: radio off");
             return;
         }
-        let gen = d.ble_slots.get(&slot).map(|s| s.gen + 1).unwrap_or(1);
-        d.ble_slots.insert(slot, BleSlot { payload, interval, gen });
+        let gen = d.ble_next_gen;
+        d.ble_next_gen += 1;
+        let entry = BleSlot { payload, interval, gen };
+        match d.ble_slots.iter_mut().find(|(s, _)| *s == slot) {
+            Some((_, existing)) => *existing = entry,
+            None => d.ble_slots.push((slot, entry)),
+        }
         // First pulse after a seeded jitter within one interval so devices
         // don't synchronize artificially.
         let jitter = SimDuration::from_micros(self.rng.gen_range(0..interval.as_micros().max(1)));
@@ -923,15 +959,16 @@ impl Runner {
             o.ble.tx(payload.len());
         }
         let latency = self.cfg.ble.oneshot_latency;
-        let recipients: Vec<DeviceId> = self
-            .world
-            .neighbors(dev, self.cfg.ble.range_m)
-            .filter(|&n| self.devices[n.0].ble_on && self.devices[n.0].ble_scan_duty.is_some())
-            .filter(|&n| self.faults.link_ok(dev, n, self.now, FaultScope::Ble))
-            .collect();
+        let mut recipients = std::mem::take(&mut self.nbr_buf);
+        self.world.neighbors_into(dev, self.cfg.range_m(TechType::BleBeacon), &mut recipients);
+        recipients.retain(|&n| {
+            self.devices[n.0].ble_on
+                && self.devices[n.0].ble_scan_duty.is_some()
+                && self.faults.link_ok(dev, n, self.now, FaultScope::Ble)
+        });
         let loss = self.cfg.faults.ble_loss;
         let jitter_max = self.cfg.faults.ble_jitter;
-        for to in recipients {
+        for &to in &recipients {
             if self.faults.lose(loss) {
                 if let Some(o) = &self.obs {
                     o.fault_drops.inc();
@@ -941,9 +978,10 @@ impl Runner {
             let delay = latency + self.faults.jitter(jitter_max);
             self.schedule(
                 delay,
-                Engine::BleOneShotDeliver { to, from: dev, payload: payload.clone() },
+                Engine::BleOneShotDeliver { to, from: dev, payload: Box::new(payload.clone()) },
             );
         }
+        self.nbr_buf = recipients;
         self.schedule(latency, Engine::BleOneShotSent { dev });
     }
 
@@ -1034,7 +1072,7 @@ impl Runner {
         let ok = target.map(|t| {
             t != dev
                 && self.devices[t.0].wifi_on
-                && self.world.in_range(dev, t, self.cfg.wifi.range_m)
+                && self.world.in_range(dev, t, self.cfg.range_m(TechType::WifiTcp))
                 && self.faults.link_ok(dev, t, self.now, FaultScope::Wifi)
         });
         match (target, ok) {
@@ -1110,14 +1148,13 @@ impl Runner {
         if let Some(o) = &self.obs {
             o.nfc.tx(payload.len());
         }
-        let recipients: Vec<DeviceId> = self
-            .world
-            .neighbors(dev, self.cfg.nfc.range_m)
-            .filter(|&n| self.devices[n.0].caps.nfc)
-            .filter(|&n| self.faults.link_ok(dev, n, self.now, FaultScope::Nfc))
-            .collect();
+        let mut recipients = std::mem::take(&mut self.nbr_buf);
+        self.world.neighbors_into(dev, self.cfg.range_m(TechType::Nfc), &mut recipients);
+        recipients.retain(|&n| {
+            self.devices[n.0].caps.nfc && self.faults.link_ok(dev, n, self.now, FaultScope::Nfc)
+        });
         let loss = self.cfg.faults.nfc_loss;
-        for to in recipients {
+        for &to in &recipients {
             if self.faults.lose(loss) {
                 if let Some(o) = &self.obs {
                     o.fault_drops.inc();
@@ -1126,9 +1163,10 @@ impl Runner {
             }
             self.schedule(
                 self.cfg.nfc.touch_latency,
-                Engine::NfcDeliver { to, from: dev, payload: payload.clone() },
+                Engine::NfcDeliver { to, from: dev, payload: Box::new(payload.clone()) },
             );
         }
+        self.nbr_buf = recipients;
     }
 
     fn infra_request(&mut self, dev: DeviceId, req: u64, total: u64, chunk: u64) {
@@ -1194,7 +1232,7 @@ impl Runner {
                     if let Some(o) = &self.obs {
                         o.ble.rx(payload.len());
                     }
-                    self.deliver(to, NodeEvent::BleOneShot { from: from_addr, payload });
+                    self.deliver(to, NodeEvent::BleOneShot { from: from_addr, payload: *payload });
                 }
             }
             Engine::BleOneShotSent { dev } => self.deliver(dev, NodeEvent::BleOneShotSent),
@@ -1208,13 +1246,15 @@ impl Runner {
                 }
                 self.devices[dev.0].wifi_scanning = false;
                 self.energy.leave(dev, self.now, EnergyState::WifiScan);
-                let found: Vec<MeshAddress> = self
-                    .world
-                    .neighbors(dev, self.cfg.wifi.range_m)
-                    .filter(|&n| self.devices[n.0].wifi_on)
-                    .filter(|&n| self.faults.link_ok(dev, n, self.now, FaultScope::Wifi))
-                    .map(|n| self.devices[n.0].mesh_addr)
+                let mut nbrs = std::mem::take(&mut self.nbr_buf);
+                self.world.neighbors_into(dev, self.cfg.range_m(TechType::WifiTcp), &mut nbrs);
+                let found: Vec<MeshAddress> = nbrs
+                    .iter()
+                    .filter(|&&n| self.devices[n.0].wifi_on)
+                    .filter(|&&n| self.faults.link_ok(dev, n, self.now, FaultScope::Wifi))
+                    .map(|&n| self.devices[n.0].mesh_addr)
                     .collect();
+                self.nbr_buf = nbrs;
                 self.deliver(dev, NodeEvent::WifiScanDone { found });
             }
             Engine::WifiJoinEcho { dev } => {
@@ -1235,7 +1275,7 @@ impl Runner {
             Engine::TcpConnectDone { initiator, token, target } => {
                 let viable = self.devices[initiator.0].wifi_on
                     && self.devices[target.0].wifi_on
-                    && self.world.in_range(initiator, target, self.cfg.wifi.range_m)
+                    && self.world.in_range(initiator, target, self.cfg.range_m(TechType::WifiTcp))
                     && self.faults.link_ok(initiator, target, self.now, FaultScope::Wifi);
                 if !viable {
                     self.deliver(
@@ -1268,14 +1308,14 @@ impl Runner {
             }
             Engine::McastDone { gen } => self.mcast_done(gen),
             Engine::NfcDeliver { to, from, payload } => {
-                if self.world.in_range(to, from, self.cfg.nfc.range_m)
+                if self.world.in_range(to, from, self.cfg.range_m(TechType::Nfc))
                     && self.faults.link_ok(to, from, self.now, FaultScope::Nfc)
                 {
                     let from_addr = self.devices[from.0].nfc_addr;
                     if let Some(o) = &self.obs {
                         o.nfc.rx(payload.len());
                     }
-                    self.deliver(to, NodeEvent::NfcReceived { from: from_addr, payload });
+                    self.deliver(to, NodeEvent::NfcReceived { from: from_addr, payload: *payload });
                 }
             }
             Engine::InfraChunkDone { dev, gen } => self.infra_chunk_done(dev, gen),
@@ -1380,13 +1420,17 @@ impl Runner {
     }
 
     fn ble_adv_tick(&mut self, dev: DeviceId, slot: u32, gen: u64) {
-        let (payload, interval) = {
+        // Probe the slot without touching the payload: most pulses reach no
+        // scanner, and the `Bytes` refcount round-trip is measurable at
+        // fleet scale. The payload is cloned out only when a delivery
+        // actually happens.
+        let (payload_len, interval) = {
             let d = &self.devices[dev.0];
             if !d.ble_on {
                 return;
             }
-            match d.ble_slots.get(&slot) {
-                Some(s) if s.gen == gen => (s.payload.clone(), s.interval),
+            match d.ble_slots.iter().find(|(s, _)| *s == slot) {
+                Some((_, s)) if s.gen == gen => (s.payload.len(), s.interval),
                 _ => return,
             }
         };
@@ -1398,7 +1442,7 @@ impl Runner {
         }
         self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.adv_pulse);
         if let Some(o) = &self.obs {
-            o.ble.tx(payload.len());
+            o.ble.tx(payload_len);
             o.beacon_interval_us.record(interval.as_micros());
             o.obs.event(
                 self.now.as_micros(),
@@ -1406,39 +1450,53 @@ impl Runner {
                 EventKind::BeaconSent { tech: "ble-beacon" },
             );
         }
-        let from = self.devices[dev.0].ble_addr;
-        let candidates: Vec<(DeviceId, f64)> = self
-            .world
-            .neighbors(dev, self.cfg.ble.range_m)
-            .filter_map(|n| {
-                let d = &self.devices[n.0];
-                match (d.ble_on, d.ble_scan_duty) {
-                    (true, Some(duty)) => Some((n, duty)),
-                    _ => None,
-                }
-            })
-            .collect();
+        // Resolve the whole fan-out through the spatial grid once, into
+        // pooled buffers: recipients plus their scan duty, snapshotted
+        // before any delivery can mutate device state.
+        let mut ids = std::mem::take(&mut self.nbr_buf);
+        let mut candidates = std::mem::take(&mut self.adv_buf);
+        self.world.neighbors_into(dev, self.cfg.range_m(TechType::BleBeacon), &mut ids);
+        candidates.clear();
+        candidates.extend(ids.iter().filter_map(|&n| {
+            let d = &self.devices[n.0];
+            match (d.ble_on, d.ble_scan_duty) {
+                (true, Some(duty)) => Some((n, duty)),
+                _ => None,
+            }
+        }));
+        self.nbr_buf = ids;
         self.schedule(interval, Engine::BleAdv { dev, slot, gen });
-        let loss = self.cfg.faults.ble_loss;
-        for (to, duty) in candidates {
-            // A duty-cycled scanner only catches the beacon when its scan
-            // window overlaps the advertising event.
-            if duty >= 1.0 || self.rng.gen_bool(duty) {
-                if !self.faults.link_ok(dev, to, self.now, FaultScope::Ble) {
-                    continue;
-                }
-                if self.faults.lose(loss) {
-                    if let Some(o) = &self.obs {
-                        o.fault_drops.inc();
+        if !candidates.is_empty() {
+            let d = &self.devices[dev.0];
+            let from = d.ble_addr;
+            let payload = d
+                .ble_slots
+                .iter()
+                .find(|(s, _)| *s == slot)
+                .map(|(_, s)| s.payload.clone())
+                .expect("slot checked above");
+            let loss = self.cfg.faults.ble_loss;
+            for &(to, duty) in &candidates {
+                // A duty-cycled scanner only catches the beacon when its
+                // scan window overlaps the advertising event.
+                if duty >= 1.0 || self.rng.gen_bool(duty) {
+                    if !self.faults.link_ok(dev, to, self.now, FaultScope::Ble) {
+                        continue;
                     }
-                    continue;
+                    if self.faults.lose(loss) {
+                        if let Some(o) = &self.obs {
+                            o.fault_drops.inc();
+                        }
+                        continue;
+                    }
+                    if let Some(o) = &self.obs {
+                        o.ble.rx(payload.len());
+                    }
+                    self.deliver(to, NodeEvent::BleBeacon { from, payload: payload.clone() });
                 }
-                if let Some(o) = &self.obs {
-                    o.ble.rx(payload.len());
-                }
-                self.deliver(to, NodeEvent::BleBeacon { from, payload: payload.clone() });
             }
         }
+        self.adv_buf = candidates;
     }
 
     fn mcast_done(&mut self, gen: u64) {
@@ -1465,17 +1523,21 @@ impl Runner {
         // Re-check: the completion callback may have powered the radio off.
         if self.devices[job.sender.0].wifi_on && !self.faults.is_down(job.sender) {
             let from = self.devices[job.sender.0].mesh_addr;
-            let recipients: Vec<DeviceId> = self
-                .world
-                .neighbors(job.sender, self.cfg.wifi.range_m)
-                .filter(|&n| {
-                    let d = &self.devices[n.0];
-                    d.wifi_on && d.wifi_joined && d.wifi_mcast_listen
-                })
-                .filter(|&n| self.faults.link_ok(job.sender, n, self.now, FaultScope::Wifi))
-                .collect();
+            let mut recipients = std::mem::take(&mut self.nbr_buf);
+            self.world.neighbors_into(
+                job.sender,
+                self.cfg.range_m(TechType::WifiMulticast),
+                &mut recipients,
+            );
+            recipients.retain(|&n| {
+                let d = &self.devices[n.0];
+                d.wifi_on
+                    && d.wifi_joined
+                    && d.wifi_mcast_listen
+                    && self.faults.link_ok(job.sender, n, self.now, FaultScope::Wifi)
+            });
             let loss = self.cfg.faults.mcast_loss;
-            for to in recipients {
+            for &to in &recipients {
                 if self.faults.lose(loss) {
                     if let Some(o) = &self.obs {
                         o.fault_drops.inc();
@@ -1487,6 +1549,7 @@ impl Runner {
                 }
                 self.deliver(to, NodeEvent::Multicast { from, payload: job.payload.clone() });
             }
+            self.nbr_buf = recipients;
         }
     }
 

@@ -663,3 +663,41 @@ fn rejoining_while_joined_confirms_immediately() {
     let joins = log.borrow().iter().filter(|(_, l)| l == "joined:true").count();
     assert_eq!(joins, 2, "the idempotent re-join is echoed exactly once");
 }
+
+/// Regression: stopping an advertising slot and immediately re-registering
+/// it must not revive the first registration's still-scheduled pulse.
+/// Generations are never reused, so the stale pulse dies on its generation
+/// check and the beacon cadence stays single — the buggy behavior was a
+/// doubled cadence whenever stop + set raced the first jittered pulse.
+#[test]
+fn restarting_an_advertising_slot_keeps_a_single_cadence() {
+    let (mut sim, a, b) = two_device_sim();
+    let (tx, _txlog) = Probe::new();
+    let (rx, rxlog) = Probe::new();
+    sim.set_stack(
+        a,
+        Box::new(tx.with_start(vec![
+            Command::BleAdvertiseSet {
+                slot: 0,
+                payload: Bytes::from_static(b"one"),
+                interval: SimDuration::from_millis(500),
+            },
+            // Stop and re-register the same slot before any pulse fired.
+            Command::BleAdvertiseStop { slot: 0 },
+            Command::BleAdvertiseSet {
+                slot: 0,
+                payload: Bytes::from_static(b"two"),
+                interval: SimDuration::from_millis(500),
+            },
+        ])),
+    );
+    sim.set_stack(b, Box::new(rx.with_start(vec![Command::BleSetScan { duty: Some(1.0) }])));
+    sim.run_until(SimTime::from_secs(10));
+    let log = rxlog.borrow();
+    let ones = log.iter().filter(|(_, l)| l == "beacon:one").count();
+    let twos = log.iter().filter(|(_, l)| l == "beacon:two").count();
+    assert_eq!(ones, 0, "the stopped registration must never pulse");
+    // Single cadence: ~20 beacons in 10 s at 500 ms; a doubled cadence
+    // (the regression) would deliver ~40.
+    assert!((18..=21).contains(&twos), "got {twos} beacons — cadence not single");
+}

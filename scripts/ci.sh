@@ -21,4 +21,7 @@ cargo test --workspace -q
 echo "== reliability smoke (fault matrix) =="
 cargo run --release -p omni-bench --bin reliability -- --smoke
 
+echo "== scale smoke (1000-node tick budget) =="
+cargo run --release -p omni-bench --bin scale -- --smoke
+
 echo "ci: all green"

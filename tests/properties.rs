@@ -316,3 +316,87 @@ fn mixed_stack_runs_are_bit_identical() {
         "the fault configuration visibly perturbs the run it is injected into"
     );
 }
+
+/// Satellite of the spatial-index tentpole: a 500-node fleet under a loaded
+/// fault configuration (BLE loss + jitter, a WiFi partition, churn) run twice
+/// from the same seed must be bit-identical — receipts, timestamps, and
+/// per-device energy totals. A third run with the brute-force neighbor scan
+/// swapped in (`Runner::set_brute_force_neighbors`) must reproduce the exact
+/// same event sequence, proving the grid changes performance and nothing
+/// else even at fleet scale with faults active.
+#[test]
+fn five_hundred_node_faulty_runs_are_bit_identical() {
+    /// `(timestamp µs, receiver index, beacon payload)` receipt log.
+    type Receipts = Rc<RefCell<Vec<(u64, usize, Vec<u8>)>>>;
+    struct Chatter {
+        heard: Receipts,
+    }
+    impl Stack for Chatter {
+        fn on_event(&mut self, event: NodeEvent, api: &mut NodeApi<'_>) {
+            match event {
+                NodeEvent::Start => {
+                    api.push(Command::BleSetScan { duty: Some(0.5) });
+                    api.push(Command::BleAdvertiseSet {
+                        slot: 0,
+                        payload: Bytes::from(vec![api.device.0 as u8, (api.device.0 >> 8) as u8]),
+                        interval: SimDuration::from_millis(500),
+                    });
+                }
+                NodeEvent::BleBeacon { payload, .. } => {
+                    self.heard.borrow_mut().push((
+                        api.now.as_micros(),
+                        api.device.0,
+                        payload.to_vec(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    const N: usize = 500;
+    let run = |brute_force: bool| {
+        let cfg = SimConfig {
+            faults: FaultConfig {
+                ble_loss: 0.2,
+                ble_jitter: SimDuration::from_millis(3),
+                partitions: vec![LinkPartition::new(
+                    0,
+                    1,
+                    SimTime::from_secs(1),
+                    SimTime::from_secs(3),
+                )],
+                churn: vec![ChurnWindow {
+                    dev: 7,
+                    down_at: SimTime::from_secs(2),
+                    up_at: SimTime::from_secs(4),
+                }],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sim = Runner::new(cfg);
+        sim.set_brute_force_neighbors(brute_force);
+        sim.trace_mut().set_enabled(false);
+        let heard = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..N {
+            // 25-wide grid with a 12 m pitch: every node has a handful of
+            // BLE-range neighbors, none has the whole fleet.
+            let pos = Position::new((i % 25) as f64 * 12.0, (i / 25) as f64 * 12.0);
+            let d = sim.add_device(DeviceCaps::PI, pos);
+            sim.set_stack(d, Box::new(Chatter { heard: heard.clone() }));
+        }
+        sim.run_until(SimTime::from_secs(5));
+        let energy: Vec<f64> =
+            (0..N).map(|i| sim.energy().total_ma_s(DeviceId(i), SimTime::from_secs(5))).collect();
+        let receipts = heard.borrow().clone();
+        (receipts, energy)
+    };
+    let (h1, e1) = run(false);
+    let (h2, e2) = run(false);
+    assert!(!h1.is_empty(), "the fleet actually exchanged beacons");
+    assert_eq!(h1, h2, "same-seed 500-node faulty runs are bit-identical");
+    assert_eq!(e1, e2, "per-device energy totals are bit-identical");
+    let (hb, eb) = run(true);
+    assert_eq!(h1, hb, "grid and brute-force neighbor paths yield the same run");
+    assert_eq!(e1, eb);
+}

@@ -390,3 +390,100 @@ fn nfc_context_at_touch_range() {
     sim.run_until(SimTime::from_secs(3));
     assert!(log.borrow().iter().any(|c| c == b"nfc:poster"));
 }
+
+/// Mobility regression for the spatial neighbor index: a device teleporting
+/// into and back out of beacon range gains and loses its peer-table effects
+/// at exactly the ticks the radio model dictates. The full stack runs on
+/// top — discovery, context exchange, and the reliable data path — so a
+/// stale grid cell (device left behind in its old cell, or not indexed in
+/// its new one) would surface as receipts at impossible times or sends
+/// concluding with the wrong status.
+#[test]
+fn teleport_in_and_out_of_range_updates_peers_at_the_right_ticks() {
+    let mut sim = Runner::new(SimConfig::default());
+    sim.trace_mut().set_enabled(false);
+    let a = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
+    // b starts far outside every radio range (WiFi 100 m, BLE 30 m).
+    let b = sim.add_device(DeviceCaps::PI, Position::new(500.0, 0.0));
+    let dest = OmniBuilder::omni_address(&sim, b);
+    let cfg = omni::core::OmniConfig { retry: RetryPolicy::reliable(), ..Default::default() };
+
+    type SendLog = Rc<RefCell<Vec<(SimTime, StatusCode, String)>>>;
+    let in_range_send: SendLog = Rc::new(RefCell::new(Vec::new()));
+    let outage_send: SendLog = Rc::new(RefCell::new(Vec::new()));
+    let a_heard: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+
+    let mgr = OmniBuilder::new().with_ble().with_wifi().with_config(cfg.clone()).build(&sim, a);
+    let (s1, s2, ah) = (in_range_send.clone(), outage_send.clone(), a_heard.clone());
+    sim.set_stack(
+        a,
+        Box::new(OmniStack::new(mgr, move |omni| {
+            let (s1b, s2b) = (s1.clone(), s2.clone());
+            omni.request_timers(Box::new(move |token, o| {
+                let log = if token == 1 { s1b.clone() } else { s2b.clone() };
+                o.send_data(
+                    vec![dest],
+                    Bytes::from_static(b"mobile"),
+                    Box::new(move |code, info, o2| {
+                        log.borrow_mut().push((o2.now, code, format!("{info}")));
+                    }),
+                );
+            }));
+            let ah2 = ah.clone();
+            omni.request_context(Box::new(move |_, _, o| ah2.borrow_mut().push(o.now)));
+            // Send #1 while b is parked nearby; send #2 just after it leaves.
+            omni.set_timer(1, SimDuration::from_secs(8));
+            omni.set_timer(2, SimDuration::from_secs(16));
+        })),
+    );
+
+    type DataLog = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+    let got: DataLog = Rc::new(RefCell::new(Vec::new()));
+    let mgr = OmniBuilder::new().with_ble().with_wifi().with_config(cfg).build(&sim, b);
+    let g = got.clone();
+    sim.set_stack(
+        b,
+        Box::new(OmniStack::new(mgr, move |omni| {
+            omni.add_context(
+                ContextParams::default(),
+                Bytes::from_static(b"svc"),
+                Box::new(|_, _, _| {}),
+            );
+            let g2 = g.clone();
+            omni.request_data(Box::new(move |_, payload, o| {
+                g2.borrow_mut().push((o.now, payload.to_vec()));
+            }));
+        })),
+    );
+
+    // In range from 5 s to 15 s, unreachable before and after.
+    sim.schedule_teleport(b, SimTime::from_secs(5), Position::new(5.0, 0.0));
+    sim.schedule_teleport(b, SimTime::from_secs(15), Position::new(500.0, 0.0));
+    sim.run_until(SimTime::from_secs(30));
+
+    // Gain tick: nothing is heard while b is 500 m away; the first receipt
+    // lands within a couple of beacon intervals (500 ms) of the teleport-in.
+    let heard = a_heard.borrow();
+    let first = *heard.first().expect("a heard b's context after it teleported in");
+    assert!(first > SimTime::from_secs(5), "receipt before b was in range: {first}");
+    assert!(first < SimTime::from_secs(7), "discovery took too long after teleport-in: {first}");
+
+    // Loss tick: beacons stop cold at the teleport-out. (The 41 ms one-shot
+    // latency means nothing sent at 15 s can arrive much after 15.1 s.)
+    let last = *heard.last().expect("receipts exist");
+    assert!(last < SimTime::from_millis(15_100), "context receipt after b left range: {last}");
+
+    // While in range, the reliable path delivers: one success, payload seen.
+    let send1 = in_range_send.borrow();
+    assert_eq!(send1.len(), 1, "in-range send concluded exactly once: {send1:?}");
+    assert_eq!(send1[0].1, StatusCode::SendDataSuccess, "{send1:?}");
+    assert!(got.borrow().iter().any(|(_, p)| p == b"mobile"), "payload arrived at b");
+
+    // After the teleport-out, the peer record ages out (ttl 3 s) and the
+    // outage send is cancelled with a failure naming the expiry.
+    let send2 = outage_send.borrow();
+    assert_eq!(send2.len(), 1, "outage send concluded exactly once: {send2:?}");
+    assert_eq!(send2[0].1, StatusCode::SendDataFailure, "{send2:?}");
+    assert!(send2[0].2.contains("expired"), "failure names the peer expiry: {}", send2[0].2);
+    assert!(got.borrow().iter().all(|(_, p)| p == b"mobile"), "no stray payloads at b");
+}
