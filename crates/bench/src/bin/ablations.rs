@@ -16,7 +16,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use omni_bench::experiments::BASELINE_MA;
-use omni_bench::report::emit_obs;
+use omni_bench::ObsRun;
 use omni_core::{ContextParams, OmniBuilder, OmniConfig, OmniStack};
 use omni_obs::Obs;
 use omni_sim::{DeviceCaps, Position, Runner, SimConfig, SimDuration, SimTime};
@@ -137,11 +137,11 @@ fn discovery_latency_ms(beacon_interval: SimDuration, obs: Option<&Obs>) -> f64 
 }
 
 fn main() {
-    let obs = Obs::new();
+    let obs = ObsRun::new("ablations");
     println!("== Ablation: context/data bifurcation (beacon only on the cheapest tech) ==");
-    let omni = discovery_energy(OmniConfig::default(), Some(&obs));
+    let omni = discovery_energy(OmniConfig::default(), Some(&*obs));
     let all = OmniConfig { advertise_on_all_techs: true, ..Default::default() };
-    let everywhere = discovery_energy(all, Some(&obs));
+    let everywhere = discovery_energy(all, Some(&*obs));
     println!("  engagement policy (Omni)     : {omni:>7.2} mA");
     println!("  advertise on all (SA-style)  : {everywhere:>7.2} mA");
     println!("  -> the bifurcation saves {:.2} mA of continuous discovery draw", everywhere - omni);
@@ -149,10 +149,10 @@ fn main() {
     println!();
     println!("== Ablation: low-level neighbor discovery integration ==");
     let pinned = OmniConfig { data_techs: Some(vec![TechType::WifiTcp]), ..Default::default() };
-    let with_nd = data_latency_ms(pinned.clone(), Some(&obs));
+    let with_nd = data_latency_ms(pinned.clone(), Some(&*obs));
     let mut without = pinned;
     without.integrate_low_level_nd = false;
-    let without_nd = data_latency_ms(without, Some(&obs));
+    let without_nd = data_latency_ms(without, Some(&*obs));
     println!("  beacon carries WiFi address (Omni): {with_nd:>9.2} ms");
     println!("  addresses not integrated (SA)     : {without_nd:>9.2} ms");
     println!(
@@ -165,9 +165,9 @@ fn main() {
     println!("  interval   discovery-latency   discovery-energy");
     for ms in [100u64, 250, 500, 1000, 2000] {
         let interval = SimDuration::from_millis(ms);
-        let lat = discovery_latency_ms(interval, Some(&obs));
+        let lat = discovery_latency_ms(interval, Some(&*obs));
         let cfg = OmniConfig { beacon_interval: interval, ..Default::default() };
-        let energy = discovery_energy(cfg, Some(&obs));
+        let energy = discovery_energy(cfg, Some(&*obs));
         println!("  {ms:>5} ms   {lat:>12.1} ms   {energy:>11.2} mA");
     }
 
@@ -176,7 +176,7 @@ fn main() {
     let fixed_fast = {
         let cfg =
             OmniConfig { beacon_interval: SimDuration::from_millis(250), ..Default::default() };
-        discovery_energy(cfg, Some(&obs))
+        discovery_energy(cfg, Some(&*obs))
     };
     let adaptive = {
         let cfg = OmniConfig {
@@ -186,11 +186,10 @@ fn main() {
             }),
             ..Default::default()
         };
-        discovery_energy(cfg, Some(&obs))
+        discovery_energy(cfg, Some(&*obs))
     };
     println!("  fixed 250 ms forever        : {fixed_fast:>7.2} mA");
     println!("  adaptive 250 ms -> 4 s decay: {adaptive:>7.2} mA");
     println!("  -> same worst-case discovery latency when the neighborhood changes,");
     println!("     {:.2} mA saved once it stabilizes", fixed_fast - adaptive);
-    emit_obs("ablations", &obs);
 }

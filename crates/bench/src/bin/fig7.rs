@@ -2,15 +2,15 @@
 //! (A → B → C with a 5 s carry delay).
 
 use omni_bench::experiments::{fig7_cell, System};
-use omni_bench::report::{emit_obs, Chart};
-use omni_obs::Obs;
+use omni_bench::report::Chart;
+use omni_bench::ObsRun;
 
 fn main() {
-    let obs = Obs::new();
+    let obs = ObsRun::new("fig7");
     let mut latency = Chart::new("Figure 7: PRoPHET delivery latency", "s");
     let mut energy = Chart::new("Figure 7: PRoPHET mean device energy", "avg mA rel. baseline");
     for sys in [System::Sp, System::Sa, System::Omni] {
-        let m = fig7_cell(sys, Some(&obs));
+        let m = fig7_cell(sys, Some(&*obs));
         latency.bar(sys.to_string(), m.latency_s);
         energy.bar(sys.to_string(), m.energy_ma);
         println!("{sys}: delivered after {:.2} s, mean energy {:.2} mA", m.latency_s, m.energy_ma);
@@ -23,5 +23,4 @@ fn main() {
     println!("Paper (Figure 7, qualitative): latency is dominated by the 5 s carry delay for");
     println!("Omni while SP/SA add WiFi discovery/connection per hop; Omni's energy is");
     println!("substantially lower because no periodic multicast transmission is needed.");
-    emit_obs("fig7", &obs);
 }

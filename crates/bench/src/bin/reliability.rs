@@ -17,7 +17,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use omni_bench::report::{emit_obs, Cell, Chart, Table};
+use omni_bench::report::{Cell, Chart, Table};
+use omni_bench::ObsRun;
 use omni_core::{OmniBuilder, OmniConfig, OmniStack, RetryPolicy};
 use omni_obs::Obs;
 use omni_sim::{
@@ -151,10 +152,10 @@ fn wild_faults() -> omni_sim::FaultConfig {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let obs = Obs::new();
+    let obs = ObsRun::new("reliability");
 
     // Wild cell: 20% BLE loss + mid-run WiFi partition, reliable path.
-    let wild = run_cell_obs(7, wild_faults(), RetryPolicy::reliable(), true, Some(&obs));
+    let wild = run_cell_obs(7, wild_faults(), RetryPolicy::reliable(), true, Some(&*obs));
     println!(
         "wild cell (20% BLE loss + wifi partition, retry/failover): \
          {}/{MSGS} delivered ({:.1}%), {}/{MSGS} exactly-once, {}/{MSGS} acked",
@@ -200,6 +201,5 @@ fn main() {
         print!("{}", chart.render());
     }
 
-    emit_obs("reliability", &obs);
     println!("reliability: ok");
 }

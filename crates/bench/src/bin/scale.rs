@@ -19,7 +19,8 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use omni_bench::report::{emit_obs, Chart, Table};
+use omni_bench::report::{Chart, Table};
+use omni_bench::ObsRun;
 use omni_obs::Obs;
 use omni_sim::{
     Command, DeviceCaps, NodeApi, NodeEvent, Position, Runner, SimConfig, SimDuration, SimTime,
@@ -118,7 +119,7 @@ fn run_cell(n: usize, brute_force: bool, obs: &Obs) -> CellResult {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let obs = Obs::new();
+    let obs = ObsRun::new("scale");
 
     if smoke {
         let cell = run_cell(1000, false, &obs);
@@ -134,7 +135,6 @@ fn main() {
             cell.mean_tick_us,
             SMOKE_BUDGET_MEAN_US
         );
-        emit_obs("scale", &obs);
         println!("scale: ok");
         return;
     }
@@ -185,6 +185,5 @@ fn main() {
     print!("{}", table.render());
     println!();
     print!("{}", chart.render());
-    emit_obs("scale", &obs);
     println!("scale: ok");
 }

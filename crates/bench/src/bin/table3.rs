@@ -1,12 +1,12 @@
 //! Regenerates paper Table 3: baseline current draw for D2D operations.
 
 use omni_bench::experiments::table3;
-use omni_bench::report::{emit_obs, Cell, Table};
-use omni_obs::Obs;
+use omni_bench::report::{Cell, Table};
+use omni_bench::ObsRun;
 
 fn main() {
-    let obs = Obs::new();
-    let rows = table3(Some(&obs));
+    let obs = ObsRun::new("table3");
+    let rows = table3(Some(&*obs));
     let mut t = Table::new(
         "Table 3: Baseline current draw for D2D technology operations (mA)",
         &["Current (mA)"],
@@ -19,5 +19,4 @@ fn main() {
     println!("Notes: values are relative to WiFi standby (92.1 mA) where the paper's are;");
     println!("BLE rows are absolute (WiFi radio off). WiFi-receive reports the model's");
     println!("receive-current constant — see EXPERIMENTS.md for the full-duplex caveat.");
-    emit_obs("table3", &obs);
 }

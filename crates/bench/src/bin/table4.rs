@@ -2,11 +2,11 @@
 //! of SP, SA, and Omni across context/data technology pairs.
 
 use omni_bench::experiments::{table4_cell, System, TABLE4_ROWS};
-use omni_bench::report::{emit_obs, Cell, Chart, Table};
-use omni_obs::Obs;
+use omni_bench::report::{Cell, Chart, Table};
+use omni_bench::ObsRun;
 
 fn main() {
-    let obs = Obs::new();
+    let obs = ObsRun::new("table4");
     let systems = [System::Sp, System::Sa, System::Omni];
     let mut energy =
         Table::new("Table 4: Total Energy (avg mA rel. baseline)", &["SP", "SA", "Omni"]);
@@ -19,7 +19,7 @@ fn main() {
         let mut ecells = Vec::new();
         let mut lcells = Vec::new();
         for (i, sys) in systems.iter().enumerate() {
-            match table4_cell(*sys, row, Some(&obs)) {
+            match table4_cell(*sys, row, Some(&*obs)) {
                 Some(m) => {
                     ecells.push(Cell { paper: row.paper_energy[i], measured: Some(m.energy_ma) });
                     lcells.push(Cell { paper: row.paper_latency[i], measured: Some(m.latency_ms) });
@@ -42,5 +42,4 @@ fn main() {
     print!("{}", fig4.render());
     println!();
     print!("{}", fig5.render());
-    emit_obs("table4", &obs);
 }

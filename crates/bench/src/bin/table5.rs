@@ -2,11 +2,11 @@
 //! collaborative download of a 30 MB file by three devices.
 
 use omni_bench::experiments::{table5_cell, DisseminateVariant};
-use omni_bench::report::{emit_obs, Cell, Chart, Table};
-use omni_obs::Obs;
+use omni_bench::report::{Cell, Chart, Table};
+use omni_bench::ObsRun;
 
 fn main() {
-    let obs = Obs::new();
+    let obs = ObsRun::new("table5");
     let variants = [
         ("Direct Download", DisseminateVariant::Direct),
         ("SP (WiFi only)", DisseminateVariant::Sp),
@@ -39,8 +39,8 @@ fn main() {
     let mut fig6_energy = Chart::new("Figure 6: energy for D2D media downloads", "avg mA");
 
     for (i, (label, variant)) in variants.iter().enumerate() {
-        let m100 = table5_cell(*variant, 100_000.0, Some(&obs));
-        let m1000 = table5_cell(*variant, 1_000_000.0, Some(&obs));
+        let m100 = table5_cell(*variant, 100_000.0, Some(&*obs));
+        let m1000 = table5_cell(*variant, 1_000_000.0, Some(&*obs));
         time_table.row(
             *label,
             vec![
@@ -74,5 +74,4 @@ fn main() {
     print!("{}", fig6_time.render());
     println!();
     print!("{}", fig6_energy.render());
-    emit_obs("table5", &obs);
 }

@@ -28,7 +28,7 @@ use omni_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use omni_sim::{NodeApi, NodeEvent, SimDuration, SimTime};
 use omni_wire::{
     AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
-    ResponseInfo, StatusCode, TechType,
+    ResponseInfo, StatusCode, TechType, TraceId,
 };
 
 use crate::api::{
@@ -163,6 +163,9 @@ struct DataSend {
     /// Technology carrying the in-flight try; `None` while waiting out a
     /// retry backoff.
     current: Option<TechType>,
+    /// Causal trace ID stamped on every frame, event, and status callback
+    /// this send produces.
+    trace: TraceId,
 }
 
 enum Pending {
@@ -215,6 +218,9 @@ pub struct OmniManager {
     /// Manager-level observability instruments, present when
     /// [`OmniConfig::obs`] is set.
     mgr_obs: Option<MgrObs>,
+    /// Monotonic counter feeding [`TraceId::derive`]; with the fixed own
+    /// address this makes trace IDs replay-deterministic (DESIGN.md §5e).
+    next_trace_seq: u64,
 }
 
 impl std::fmt::Debug for OmniManager {
@@ -285,7 +291,15 @@ impl OmniManager {
             last_fresh_peers: BTreeSet::new(),
             retry_fresh_prev: BTreeSet::new(),
             mgr_obs,
+            next_trace_seq: 0,
         }
+    }
+
+    /// Derives the next causal trace ID originated by this node.
+    fn next_trace(&mut self) -> TraceId {
+        let seq = self.next_trace_seq;
+        self.next_trace_seq += 1;
+        TraceId::derive(self.own, seq)
     }
 
     /// The device's unified address.
@@ -352,10 +366,16 @@ impl OmniManager {
             }
             let beacon = self.own_beacon();
             let sealed = self.seal(PackedStruct::address_beacon(self.own, &beacon).payload);
+            // The discovery epoch rides in the header's trace field (kept
+            // plaintext: sealing covers the payload only), so receivers can
+            // attribute a PeerDiscovered to the beacon registration that
+            // caused it.
+            let epoch = self.next_trace();
             let packed = PackedStruct {
                 kind: ContentKind::AddressBeacon,
                 source: self.own,
                 payload: sealed,
+                trace: Some(epoch),
             };
             self.contexts.insert(
                 ADDRESS_BEACON_CONTEXT_ID,
@@ -556,6 +576,7 @@ impl OmniManager {
                             EventKind::BeaconReceived {
                                 tech: tech_label(item.tech),
                                 peer: item.packed.source.as_u64(),
+                                epoch: item.packed.trace.map_or(0, TraceId::as_u64),
                             },
                         );
                     }
@@ -587,6 +608,7 @@ impl OmniManager {
                         EventKind::DataDelivered {
                             peer: src.as_u64(),
                             bytes: payload.len() as u64,
+                            trace: item.packed.trace.map_or(0, TraceId::as_u64),
                         },
                     );
                 }
@@ -746,14 +768,21 @@ impl OmniManager {
                         m.data_sent.inc();
                         m.event(
                             api.now,
-                            EventKind::DataSent { tech: tech_label(tech), bytes: send.wire_len },
+                            EventKind::DataSent {
+                                tech: tech_label(tech),
+                                bytes: send.wire_len,
+                                trace: send.trace.as_u64(),
+                            },
                         );
                     }
                     if let Some(cb) = send.cb {
                         self.deferred.push_back((
                             cb,
                             StatusCode::SendDataSuccess,
-                            ResponseInfo::Destination(dest_omni),
+                            ResponseInfo::Destination {
+                                destination: dest_omni,
+                                trace: send.trace.as_u64(),
+                            },
                         ));
                     }
                 }
@@ -774,7 +803,13 @@ impl OmniManager {
                     } else if send.remaining.is_empty() {
                         if let Some(m) = &self.mgr_obs {
                             m.data_failed.inc();
-                            m.event(api.now, EventKind::DataFailed { tech: tech_label(tech) });
+                            m.event(
+                                api.now,
+                                EventKind::DataFailed {
+                                    tech: tech_label(tech),
+                                    trace: send.trace.as_u64(),
+                                },
+                            );
                         }
                         // "Only at this point is the status_callback provided
                         // by the application employed" (paper §3.3).
@@ -782,14 +817,23 @@ impl OmniManager {
                             let info = ResponseInfo::SendFailure {
                                 description: failure.description,
                                 destination: send.dest,
+                                trace: send.trace.as_u64(),
                             };
                             self.deferred.push_back((cb, StatusCode::SendDataFailure, info));
                         }
                     } else {
+                        let next = send.remaining.remove(0);
                         if let Some(m) = &self.mgr_obs {
                             m.data_fallbacks.inc();
+                            m.event(
+                                api.now,
+                                EventKind::DataFailedOver {
+                                    from_tech: tech_label(tech),
+                                    to_tech: tech_label(next.tech),
+                                    trace: send.trace.as_u64(),
+                                },
+                            );
                         }
-                        let next = send.remaining.remove(0);
                         self.submit_data(send, next, api);
                     }
                 }
@@ -1036,29 +1080,42 @@ impl OmniManager {
         cb: SharedCb,
         api: &mut NodeApi<'_>,
     ) {
+        // Derive the trace before candidate selection so even immediately
+        // failing sends produce a (single-event) causal timeline.
+        let trace = self.next_trace();
         let Some(mut cands) = self.data_candidates(dest, total_len, api.now) else {
+            if let Some(m) = &self.mgr_obs {
+                m.data_failed.inc();
+                m.event(api.now, EventKind::DataFailed { tech: "none", trace: trace.as_u64() });
+            }
             self.deferred.push_back((
                 cb,
                 StatusCode::SendDataFailure,
                 ResponseInfo::SendFailure {
                     description: "destination unknown: never discovered".into(),
                     destination: dest,
+                    trace: trace.as_u64(),
                 },
             ));
             return;
         };
         if cands.is_empty() && !self.cfg.retry.enabled() {
+            if let Some(m) = &self.mgr_obs {
+                m.data_failed.inc();
+                m.event(api.now, EventKind::DataFailed { tech: "none", trace: trace.as_u64() });
+            }
             self.deferred.push_back((
                 cb,
                 StatusCode::SendDataFailure,
                 ResponseInfo::SendFailure {
                     description: "no applicable technology for destination".into(),
                     destination: dest,
+                    trace: trace.as_u64(),
                 },
             ));
             return;
         }
-        let packed = PackedStruct::data(self.own, data);
+        let packed = PackedStruct::data(self.own, data).with_trace(trace);
         let mut send = DataSend {
             dest,
             cb: Some(cb),
@@ -1068,10 +1125,23 @@ impl OmniManager {
             attempt: 1,
             tried: Vec::new(),
             current: None,
+            trace,
         };
         if cands.is_empty() {
             // Reliable mode: the peer may be mid-partition or mid-reboot;
-            // burn this pass and back off instead of failing outright.
+            // burn this pass and back off instead of failing outright. The
+            // send is accepted, so its timeline still opens with an enqueue.
+            if let Some(m) = &self.mgr_obs {
+                m.data_enqueued.inc();
+                m.event(
+                    api.now,
+                    EventKind::DataEnqueued {
+                        tech: "none",
+                        bytes: send.wire_len,
+                        trace: trace.as_u64(),
+                    },
+                );
+            }
             self.advance_data(send, None, "no applicable technology for destination".into(), api);
             return;
         }
@@ -1166,7 +1236,11 @@ impl OmniManager {
             m.data_enqueued.inc();
             m.event(
                 api.now,
-                EventKind::DataEnqueued { tech: tech_label(candidate.tech), bytes: send.wire_len },
+                EventKind::DataEnqueued {
+                    tech: tech_label(candidate.tech),
+                    bytes: send.wire_len,
+                    trace: send.trace.as_u64(),
+                },
             );
         }
         let token = self.alloc_token();
@@ -1235,6 +1309,7 @@ impl OmniManager {
                     EventKind::DataFailedOver {
                         from_tech: failed.map(tech_label).unwrap_or("none"),
                         to_tech: tech_label(next.tech),
+                        trace: send.trace.as_u64(),
                     },
                 );
             }
@@ -1255,6 +1330,7 @@ impl OmniManager {
                     EventKind::DataRetried {
                         tech: failed.map(tech_label).unwrap_or("none"),
                         attempt: send.attempt as u64,
+                        trace: send.trace.as_u64(),
                     },
                 );
             }
@@ -1271,7 +1347,14 @@ impl OmniManager {
             m.data_failed.inc();
             m.event(
                 api.now,
-                EventKind::DataFailed { tech: failed.map(tech_label).unwrap_or("none") },
+                EventKind::DataFailed {
+                    tech: failed.map(tech_label).unwrap_or("none"),
+                    trace: send.trace.as_u64(),
+                },
+            );
+            m.event(
+                api.now,
+                EventKind::SendExhausted { peer: send.dest.as_u64(), trace: send.trace.as_u64() },
             );
         }
         if let Some(cb) = send.cb {
@@ -1279,6 +1362,7 @@ impl OmniManager {
                 description,
                 destination: send.dest,
                 techs: send.tried.clone(),
+                trace: send.trace.as_u64(),
             };
             self.deferred.push_back((cb, StatusCode::SendDataFailure, info));
         }
@@ -1348,7 +1432,14 @@ impl OmniManager {
                 m.data_failed.inc();
                 m.event(
                     api.now,
-                    EventKind::DataFailed { tech: send.current.map(tech_label).unwrap_or("none") },
+                    EventKind::DataFailed {
+                        tech: send.current.map(tech_label).unwrap_or("none"),
+                        trace: send.trace.as_u64(),
+                    },
+                );
+                m.event(
+                    api.now,
+                    EventKind::SendExhausted { peer: peer.as_u64(), trace: send.trace.as_u64() },
                 );
             }
             if let Some(cb) = send.cb {
@@ -1359,6 +1450,7 @@ impl OmniManager {
                         description: "peer expired; retries cancelled".into(),
                         destination: peer,
                         techs: send.tried.clone(),
+                        trace: send.trace.as_u64(),
                     },
                 ));
             }

@@ -208,15 +208,18 @@ impl BleBeaconTech {
                 // retry, nothing more. Answering is unconditional so plain
                 // receivers still satisfy reliable senders.
                 let sender = packed.source;
+                let trace = packed.trace;
                 queues.receive.push(ReceivedItem {
                     tech: TechType::BleBeacon,
                     source: LowAddr::Ble(from),
                     packed,
                 });
-                api.push(Command::BleSendOneShot { payload: frame::encode_ack(sender, corr) });
+                api.push(Command::BleSendOneShot {
+                    payload: frame::encode_ack(sender, corr, trace),
+                });
                 self.inflight.push_back(OneShot::Forget);
             }
-            frame::Incoming::Ack { corr } => {
+            frame::Incoming::Ack { corr, .. } => {
                 // Late acks for attempts the manager already abandoned hit
                 // no entry and are ignored.
                 if let Some(req) = self.awaiting.remove(&corr) {
@@ -471,7 +474,7 @@ mod tests {
         with_api(&mut cmds, |api| tech.on_node_event(&NodeEvent::BleOneShotSent, api));
         assert!(queues.response.is_empty(), "no optimistic DataSent in acked mode");
         // The addressee's ack does.
-        let ack = frame::encode_ack(OmniAddress::from_u64(1), 7);
+        let ack = frame::encode_ack(OmniAddress::from_u64(1), 7, None);
         let ev = NodeEvent::BleOneShot { from: BleAddress([9; 6]), payload: ack };
         with_api(&mut cmds, |api| tech.on_node_event(&ev, api));
         match queues.response.pop() {
@@ -483,7 +486,7 @@ mod tests {
             other => panic!("unexpected response {other:?}"),
         }
         // A duplicate ack is ignored.
-        let dup = frame::encode_ack(OmniAddress::from_u64(1), 7);
+        let dup = frame::encode_ack(OmniAddress::from_u64(1), 7, None);
         let ev = NodeEvent::BleOneShot { from: BleAddress([9; 6]), payload: dup };
         with_api(&mut cmds, |api| tech.on_node_event(&ev, api));
         assert!(queues.response.is_empty());
@@ -514,7 +517,7 @@ mod tests {
             .expect("ack reply queued");
         assert_eq!(
             frame::parse_for(OmniAddress::from_u64(7), &reply),
-            frame::Incoming::Ack { corr: 42 },
+            frame::Incoming::Ack { corr: 42, trace: None },
             "ack is addressed to the data frame's source"
         );
     }

@@ -76,7 +76,7 @@ fn two_node_run_emits_causally_ordered_events() {
     // The delivery event carries the payload size and the sender's address.
     let omni_a = OmniBuilder::omni_address(&sim, a);
     match events[delivered_ev].kind {
-        EventKind::DataDelivered { peer, bytes } => {
+        EventKind::DataDelivered { peer, bytes, .. } => {
             assert_eq!(peer, omni_a.as_u64());
             assert_eq!(bytes, 29, "payload is 29 bytes");
         }

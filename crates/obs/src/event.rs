@@ -17,6 +17,9 @@ pub enum EventKind {
     BeaconSent {
         /// Technology label (e.g. `"ble-beacon"`).
         tech: &'static str,
+        /// Discovery epoch stamped on the beacon (zero when unstamped); lets
+        /// discovery latency be measured per beacon registration.
+        epoch: u64,
     },
     /// An address beacon from `peer` arrived at this node.
     BeaconReceived {
@@ -24,6 +27,8 @@ pub enum EventKind {
         tech: &'static str,
         /// `omni_address` of the beacon's sender.
         peer: u64,
+        /// Discovery epoch carried by the beacon (zero when unstamped).
+        epoch: u64,
     },
     /// A peer entered the peer map for the first time.
     PeerDiscovered {
@@ -51,6 +56,8 @@ pub enum EventKind {
         tech: &'static str,
         /// Application payload size.
         bytes: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
     },
     /// A data send completed at the sender.
     DataSent {
@@ -58,6 +65,8 @@ pub enum EventKind {
         tech: &'static str,
         /// Application payload size.
         bytes: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
     },
     /// Application data arrived at the receiver.
     DataDelivered {
@@ -65,11 +74,15 @@ pub enum EventKind {
         peer: u64,
         /// Application payload size.
         bytes: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
     },
     /// A data send failed (after any fallback attempts recorded separately).
     DataFailed {
         /// Technology label that reported the failure.
         tech: &'static str,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
     },
     /// A context was added, updated, or removed.
     ContextUpdated {
@@ -88,6 +101,8 @@ pub enum EventKind {
         tech: &'static str,
         /// 1-based number of the attempt that failed.
         attempt: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
     },
     /// A data send attempt moved to the next candidate technology.
     DataFailedOver {
@@ -95,6 +110,26 @@ pub enum EventKind {
         from_tech: &'static str,
         /// Technology label taking over.
         to_tech: &'static str,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
+    },
+    /// A reliable send spent its whole retry budget across every candidate
+    /// technology and gave up (terminal).
+    SendExhausted {
+        /// `omni_address` of the unreachable destination.
+        peer: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
+    },
+    /// The simulator's fault layer killed an in-flight traced frame.
+    FrameDropped {
+        /// Technology label of the medium the frame was crossing.
+        tech: &'static str,
+        /// Which fault killed it: `"frame-loss"`, `"partition"`, or
+        /// `"node-down"`.
+        cause: &'static str,
+        /// Causal trace ID carried by the dropped frame.
+        trace: u64,
     },
     /// The fault layer activated a timed link partition between two nodes.
     LinkPartitioned {
@@ -128,8 +163,37 @@ impl EventKind {
             EventKind::QueueDropped { .. } => "QueueDropped",
             EventKind::DataRetried { .. } => "DataRetried",
             EventKind::DataFailedOver { .. } => "DataFailedOver",
+            EventKind::SendExhausted { .. } => "SendExhausted",
+            EventKind::FrameDropped { .. } => "FrameDropped",
             EventKind::LinkPartitioned { .. } => "LinkPartitioned",
             EventKind::NodeDown { .. } => "NodeDown",
+        }
+    }
+
+    /// The causal trace ID carried by this event, when it concerns a traced
+    /// transfer (zero-valued fields mean untraced and report `None`).
+    pub fn trace(&self) -> Option<u64> {
+        match self {
+            EventKind::DataEnqueued { trace, .. }
+            | EventKind::DataSent { trace, .. }
+            | EventKind::DataDelivered { trace, .. }
+            | EventKind::DataFailed { trace, .. }
+            | EventKind::DataRetried { trace, .. }
+            | EventKind::DataFailedOver { trace, .. }
+            | EventKind::SendExhausted { trace, .. }
+            | EventKind::FrameDropped { trace, .. } => (*trace != 0).then_some(*trace),
+            _ => None,
+        }
+    }
+
+    /// The discovery epoch carried by this event, for beacon events stamped
+    /// with one.
+    pub fn epoch(&self) -> Option<u64> {
+        match self {
+            EventKind::BeaconSent { epoch, .. } | EventKind::BeaconReceived { epoch, .. } => {
+                (*epoch != 0).then_some(*epoch)
+            }
+            _ => None,
         }
     }
 }
@@ -250,14 +314,32 @@ mod tests {
 
     #[test]
     fn kind_names_are_stable() {
-        assert_eq!(EventKind::BeaconSent { tech: "ble-beacon" }.name(), "BeaconSent");
+        assert_eq!(EventKind::BeaconSent { tech: "ble-beacon", epoch: 0 }.name(), "BeaconSent");
         assert_eq!(EventKind::QueueDropped { queue: "receive" }.name(), "QueueDropped");
-        assert_eq!(EventKind::DataRetried { tech: "ble-beacon", attempt: 1 }.name(), "DataRetried");
         assert_eq!(
-            EventKind::DataFailedOver { from_tech: "ble-beacon", to_tech: "wifi-tcp" }.name(),
+            EventKind::DataRetried { tech: "ble-beacon", attempt: 1, trace: 0 }.name(),
+            "DataRetried"
+        );
+        assert_eq!(
+            EventKind::DataFailedOver { from_tech: "ble-beacon", to_tech: "wifi-tcp", trace: 0 }
+                .name(),
             "DataFailedOver"
+        );
+        assert_eq!(EventKind::SendExhausted { peer: 1, trace: 2 }.name(), "SendExhausted");
+        assert_eq!(
+            EventKind::FrameDropped { tech: "ble", cause: "frame-loss", trace: 2 }.name(),
+            "FrameDropped"
         );
         assert_eq!(EventKind::LinkPartitioned { a: 0, b: 1 }.name(), "LinkPartitioned");
         assert_eq!(EventKind::NodeDown { node: 0 }.name(), "NodeDown");
+    }
+
+    #[test]
+    fn trace_and_epoch_accessors_treat_zero_as_absent() {
+        assert_eq!(EventKind::DataSent { tech: "t", bytes: 1, trace: 7 }.trace(), Some(7));
+        assert_eq!(EventKind::DataSent { tech: "t", bytes: 1, trace: 0 }.trace(), None);
+        assert_eq!(EventKind::PeerDiscovered { peer: 1 }.trace(), None);
+        assert_eq!(EventKind::BeaconSent { tech: "t", epoch: 9 }.epoch(), Some(9));
+        assert_eq!(EventKind::BeaconReceived { tech: "t", peer: 1, epoch: 0 }.epoch(), None);
     }
 }

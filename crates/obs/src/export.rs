@@ -133,23 +133,32 @@ pub fn event_json(e: &Event) -> String {
         json_str(e.kind.name())
     );
     match e.kind {
-        EventKind::BeaconSent { tech }
-        | EventKind::TechEngaged { tech }
-        | EventKind::TechDisengaged { tech }
-        | EventKind::DataFailed { tech } => {
+        EventKind::TechEngaged { tech } | EventKind::TechDisengaged { tech } => {
             let _ = write!(out, ", \"tech\": {}", json_str(tech));
         }
-        EventKind::BeaconReceived { tech, peer } => {
-            let _ = write!(out, ", \"tech\": {}, \"peer\": {peer}", json_str(tech));
+        EventKind::BeaconSent { tech, epoch } => {
+            let _ = write!(out, ", \"tech\": {}, \"epoch\": {epoch}", json_str(tech));
+        }
+        EventKind::BeaconReceived { tech, peer, epoch } => {
+            let _ =
+                write!(out, ", \"tech\": {}, \"peer\": {peer}, \"epoch\": {epoch}", json_str(tech));
         }
         EventKind::PeerDiscovered { peer } | EventKind::PeerExpired { peer } => {
             let _ = write!(out, ", \"peer\": {peer}");
         }
-        EventKind::DataEnqueued { tech, bytes } | EventKind::DataSent { tech, bytes } => {
-            let _ = write!(out, ", \"tech\": {}, \"bytes\": {bytes}", json_str(tech));
+        EventKind::DataEnqueued { tech, bytes, trace }
+        | EventKind::DataSent { tech, bytes, trace } => {
+            let _ = write!(
+                out,
+                ", \"tech\": {}, \"bytes\": {bytes}, \"trace\": {trace}",
+                json_str(tech)
+            );
         }
-        EventKind::DataDelivered { peer, bytes } => {
-            let _ = write!(out, ", \"peer\": {peer}, \"bytes\": {bytes}");
+        EventKind::DataDelivered { peer, bytes, trace } => {
+            let _ = write!(out, ", \"peer\": {peer}, \"bytes\": {bytes}, \"trace\": {trace}");
+        }
+        EventKind::DataFailed { tech, trace } => {
+            let _ = write!(out, ", \"tech\": {}, \"trace\": {trace}", json_str(tech));
         }
         EventKind::ContextUpdated { id } => {
             let _ = write!(out, ", \"id\": {id}");
@@ -157,15 +166,30 @@ pub fn event_json(e: &Event) -> String {
         EventKind::QueueDropped { queue } => {
             let _ = write!(out, ", \"queue\": {}", json_str(queue));
         }
-        EventKind::DataRetried { tech, attempt } => {
-            let _ = write!(out, ", \"tech\": {}, \"attempt\": {attempt}", json_str(tech));
-        }
-        EventKind::DataFailedOver { from_tech, to_tech } => {
+        EventKind::DataRetried { tech, attempt, trace } => {
             let _ = write!(
                 out,
-                ", \"from_tech\": {}, \"to_tech\": {}",
+                ", \"tech\": {}, \"attempt\": {attempt}, \"trace\": {trace}",
+                json_str(tech)
+            );
+        }
+        EventKind::DataFailedOver { from_tech, to_tech, trace } => {
+            let _ = write!(
+                out,
+                ", \"from_tech\": {}, \"to_tech\": {}, \"trace\": {trace}",
                 json_str(from_tech),
                 json_str(to_tech)
+            );
+        }
+        EventKind::SendExhausted { peer, trace } => {
+            let _ = write!(out, ", \"peer\": {peer}, \"trace\": {trace}");
+        }
+        EventKind::FrameDropped { tech, cause, trace } => {
+            let _ = write!(
+                out,
+                ", \"tech\": {}, \"cause\": {}, \"trace\": {trace}",
+                json_str(tech),
+                json_str(cause)
             );
         }
         EventKind::LinkPartitioned { a, b } => {
@@ -211,7 +235,7 @@ mod tests {
         obs.counter("tech.ble-beacon.tx_frames").add(3);
         obs.gauge("queue.receive.depth").set(2);
         obs.histogram("mgr.beacon_interval_us").record(500_000);
-        obs.event(1_000, 0, EventKind::BeaconSent { tech: "ble-beacon" });
+        obs.event(1_000, 0, EventKind::BeaconSent { tech: "ble-beacon", epoch: 0 });
         let snap = obs.snapshot();
 
         let text = snap.to_text();
@@ -233,11 +257,89 @@ mod tests {
     }
 
     #[test]
+    fn json_escapes_every_control_character() {
+        // Named escapes for the common three, \u00XX for the rest of C0.
+        assert_eq!(json_str("\n"), "\"\\n\"");
+        assert_eq!(json_str("\r"), "\"\\r\"");
+        assert_eq!(json_str("\t"), "\"\\t\"");
+        for c in (0u32..0x20).filter_map(char::from_u32) {
+            let escaped = json_str(&c.to_string());
+            assert!(escaped.starts_with('"') && escaped.ends_with('"'), "{c:?} must stay quoted");
+            let inner = &escaped[1..escaped.len() - 1];
+            assert!(inner.starts_with('\\'), "control char {c:?} must be escaped, got {inner:?}");
+            assert!(
+                inner.chars().all(|c| (c as u32) >= 0x20),
+                "no raw control bytes may survive escaping: {inner:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_escaping_is_parseable_back() {
+        // The escaped form of a hostile label must be a valid JSON string
+        // literal: balanced quotes, every interior quote/backslash escaped.
+        let hostile = "quote\" back\\slash \x07bell \x1f unit\tsep\r\n";
+        let escaped = json_str(hostile);
+        let inner = &escaped[1..escaped.len() - 1];
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            assert_ne!(c, '"', "unescaped quote inside JSON string: {inner}");
+            if c == '\\' {
+                let next = chars.next().expect("dangling backslash");
+                assert!(
+                    matches!(next, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
+                    "invalid escape \\{next}"
+                );
+                if next == 'u' {
+                    for _ in 0..4 {
+                        assert!(chars.next().expect("short \\u escape").is_ascii_hexdigit());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_event_labels_survive_snapshot_json() {
+        let obs = Obs::new();
+        obs.counter("evil \"quoted\\name\"").add(1);
+        obs.event(1, 0, EventKind::QueueDropped { queue: "rx\"q\\" });
+        let json = obs.snapshot().to_json();
+        assert!(json.contains("\"evil \\\"quoted\\\\name\\\"\": 1"));
+        assert!(json.contains("\"queue\": \"rx\\\"q\\\\\""));
+    }
+
+    #[test]
     fn event_json_includes_payload_fields() {
-        let e =
-            Event { t_us: 5, node: 1, kind: EventKind::DataDelivered { peer: 42, bytes: 1024 } };
+        let e = Event {
+            t_us: 5,
+            node: 1,
+            kind: EventKind::DataDelivered { peer: 42, bytes: 1024, trace: 7 },
+        };
         let j = event_json(&e);
         assert!(j.contains("\"peer\": 42"));
         assert!(j.contains("\"bytes\": 1024"));
+        assert!(j.contains("\"trace\": 7"));
+    }
+
+    #[test]
+    fn event_json_carries_trace_epoch_and_drop_cause() {
+        let sent = Event {
+            t_us: 1,
+            node: 0,
+            kind: EventKind::BeaconSent { tech: "ble-beacon", epoch: 99 },
+        };
+        assert!(event_json(&sent).contains("\"epoch\": 99"));
+        let dropped = Event {
+            t_us: 2,
+            node: 3,
+            kind: EventKind::FrameDropped { tech: "ble", cause: "partition", trace: 11 },
+        };
+        let j = event_json(&dropped);
+        assert!(j.contains("\"cause\": \"partition\""));
+        assert!(j.contains("\"trace\": 11"));
+        let exhausted =
+            Event { t_us: 3, node: 0, kind: EventKind::SendExhausted { peer: 4, trace: 11 } };
+        assert!(event_json(&exhausted).contains("\"kind\": \"SendExhausted\""));
     }
 }

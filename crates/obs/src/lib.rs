@@ -26,7 +26,7 @@
 //! let obs = Obs::new();
 //! obs.counter("tech.ble-beacon.tx_frames").inc();
 //! obs.histogram("mgr.beacon_interval_us").record(500_000);
-//! obs.event(1_000, 0, EventKind::BeaconSent { tech: "ble-beacon" });
+//! obs.event(1_000, 0, EventKind::BeaconSent { tech: "ble-beacon", epoch: 0 });
 //!
 //! let snapshot = obs.snapshot();
 //! assert!(snapshot.to_json().contains("\"BeaconSent\""));

@@ -355,6 +355,52 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles_on_empty_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_single_sample_reports_it_at_every_quantile() {
+        let h = Histogram::new();
+        h.record(777);
+        // One sample: every rank resolves to its bucket, and the bucket's
+        // upper bound clamps to the exact observed max.
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max), (1, 777, 777));
+        assert_eq!((s.p50, s.p95, s.p99), (777, 777, 777));
+    }
+
+    #[test]
+    fn histogram_saturating_bucket_holds_huge_samples() {
+        let h = Histogram::new();
+        // Values at and beyond the last finite bucket boundary all land in
+        // bucket 63, whose upper bound is u64::MAX — the quantile must clamp
+        // to the observed max rather than reporting u64::MAX.
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.min, 1u64 << 63);
+        assert_eq!(h.quantile(0.01), u64::MAX, "bucketed readout clamps to max");
+        assert_eq!(s.p99, u64::MAX);
+        // Sum wraps (documented behavior) but count/min/max stay exact.
+        let lone = Histogram::new();
+        lone.record(u64::MAX);
+        assert_eq!(lone.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
     fn histogram_record_between_saturates() {
         let h = Histogram::new();
         h.record_between(10, 4); // skewed clock → 0, not a panic/wrap

@@ -96,7 +96,7 @@ fn parallel_event_pushes_bound_the_ring() {
                     obs.event(
                         t * PER_THREAD + i,
                         t as u32,
-                        EventKind::BeaconSent { tech: "ble-beacon" },
+                        EventKind::BeaconSent { tech: "ble-beacon", epoch: 0 },
                     );
                 }
             });

@@ -66,6 +66,7 @@ mod energy;
 mod faults;
 mod medium;
 mod node;
+mod recorder;
 mod runner;
 mod time;
 mod trace;
@@ -75,6 +76,7 @@ pub use config::{BleParams, EnergyParams, NfcParams, SimConfig, WifiParams};
 pub use energy::{EnergyLedger, EnergyState};
 pub use faults::{ChurnWindow, FaultConfig, FaultScope, LinkPartition};
 pub use node::{Command, ConnId, DeviceId, NodeApi, NodeEvent, Stack, TcpError};
+pub use recorder::{FlightRecorder, TraceOutcome, TraceTimeline};
 pub use runner::{DeviceCaps, Runner};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

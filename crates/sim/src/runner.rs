@@ -940,6 +940,37 @@ impl Runner {
         self.schedule(jitter, Engine::BleAdv { dev, slot, gen });
     }
 
+    /// Attributes a dropped frame to the fault that killed it. Only directed
+    /// frames carrying a trace ID (the reliable data/ack path) are recorded —
+    /// beacon losses are routine background noise and would flood the flight
+    /// recorder without adding causal information.
+    fn record_frame_drop(
+        &self,
+        dev: DeviceId,
+        tech: &'static str,
+        cause: &'static str,
+        payload: &[u8],
+    ) {
+        let Some(o) = &self.obs else { return };
+        let Some(trace) = omni_wire::frame::directed_trace(payload) else { return };
+        o.obs.event(
+            self.now.as_micros(),
+            dev.0 as u32,
+            EventKind::FrameDropped { tech, cause, trace: trace.as_u64() },
+        );
+    }
+
+    /// Distinguishes churn from partitions for drop attribution: a link that
+    /// fails while either endpoint is churned down is a node fault, anything
+    /// else is a partition window.
+    fn link_drop_cause(&self, a: DeviceId, b: DeviceId) -> &'static str {
+        if self.faults.is_down(a) || self.faults.is_down(b) {
+            "node-down"
+        } else {
+            "partition"
+        }
+    }
+
     fn ble_send_oneshot(&mut self, dev: DeviceId, payload: Bytes) {
         if payload.len() > self.cfg.ble.max_payload {
             self.trace.record(self.now, dev, "ble oneshot dropped: payload too large");
@@ -961,10 +992,14 @@ impl Runner {
         let latency = self.cfg.ble.oneshot_latency;
         let mut recipients = std::mem::take(&mut self.nbr_buf);
         self.world.neighbors_into(dev, self.cfg.range_m(TechType::BleBeacon), &mut recipients);
+        recipients
+            .retain(|&n| self.devices[n.0].ble_on && self.devices[n.0].ble_scan_duty.is_some());
         recipients.retain(|&n| {
-            self.devices[n.0].ble_on
-                && self.devices[n.0].ble_scan_duty.is_some()
-                && self.faults.link_ok(dev, n, self.now, FaultScope::Ble)
+            if self.faults.link_ok(dev, n, self.now, FaultScope::Ble) {
+                return true;
+            }
+            self.record_frame_drop(dev, "ble-beacon", self.link_drop_cause(dev, n), &payload);
+            false
         });
         let loss = self.cfg.faults.ble_loss;
         let jitter_max = self.cfg.faults.ble_jitter;
@@ -973,6 +1008,7 @@ impl Runner {
                 if let Some(o) = &self.obs {
                     o.fault_drops.inc();
                 }
+                self.record_frame_drop(dev, "ble-beacon", "frame-loss", &payload);
                 continue;
             }
             let delay = latency + self.faults.jitter(jitter_max);
@@ -1150,8 +1186,13 @@ impl Runner {
         }
         let mut recipients = std::mem::take(&mut self.nbr_buf);
         self.world.neighbors_into(dev, self.cfg.range_m(TechType::Nfc), &mut recipients);
+        recipients.retain(|&n| self.devices[n.0].caps.nfc);
         recipients.retain(|&n| {
-            self.devices[n.0].caps.nfc && self.faults.link_ok(dev, n, self.now, FaultScope::Nfc)
+            if self.faults.link_ok(dev, n, self.now, FaultScope::Nfc) {
+                return true;
+            }
+            self.record_frame_drop(dev, "nfc", self.link_drop_cause(dev, n), &payload);
+            false
         });
         let loss = self.cfg.faults.nfc_loss;
         for &to in &recipients {
@@ -1159,6 +1200,7 @@ impl Runner {
                 if let Some(o) = &self.obs {
                     o.fault_drops.inc();
                 }
+                self.record_frame_drop(dev, "nfc", "frame-loss", &payload);
                 continue;
             }
             self.schedule(
@@ -1424,13 +1466,17 @@ impl Runner {
         // scanner, and the `Bytes` refcount round-trip is measurable at
         // fleet scale. The payload is cloned out only when a delivery
         // actually happens.
-        let (payload_len, interval) = {
+        let (payload_len, interval, epoch) = {
             let d = &self.devices[dev.0];
             if !d.ble_on {
                 return;
             }
             match d.ble_slots.iter().find(|(s, _)| *s == slot) {
-                Some((_, s)) if s.gen == gen => (s.payload.len(), s.interval),
+                Some((_, s)) if s.gen == gen => {
+                    let epoch = omni_wire::PackedStruct::peek_trace(&s.payload)
+                        .map_or(0, omni_wire::TraceId::as_u64);
+                    (s.payload.len(), s.interval, epoch)
+                }
                 _ => return,
             }
         };
@@ -1447,7 +1493,7 @@ impl Runner {
             o.obs.event(
                 self.now.as_micros(),
                 dev.0 as u32,
-                EventKind::BeaconSent { tech: "ble-beacon" },
+                EventKind::BeaconSent { tech: "ble-beacon", epoch },
             );
         }
         // Resolve the whole fan-out through the spatial grid once, into
@@ -1531,10 +1577,15 @@ impl Runner {
             );
             recipients.retain(|&n| {
                 let d = &self.devices[n.0];
-                d.wifi_on
-                    && d.wifi_joined
-                    && d.wifi_mcast_listen
-                    && self.faults.link_ok(job.sender, n, self.now, FaultScope::Wifi)
+                d.wifi_on && d.wifi_joined && d.wifi_mcast_listen
+            });
+            recipients.retain(|&n| {
+                if self.faults.link_ok(job.sender, n, self.now, FaultScope::Wifi) {
+                    return true;
+                }
+                let cause = self.link_drop_cause(job.sender, n);
+                self.record_frame_drop(job.sender, "wifi-multicast", cause, &job.payload);
+                false
             });
             let loss = self.cfg.faults.mcast_loss;
             for &to in &recipients {
@@ -1542,6 +1593,12 @@ impl Runner {
                     if let Some(o) = &self.obs {
                         o.fault_drops.inc();
                     }
+                    self.record_frame_drop(
+                        job.sender,
+                        "wifi-multicast",
+                        "frame-loss",
+                        &job.payload,
+                    );
                     continue;
                 }
                 if let Some(o) = &self.obs {

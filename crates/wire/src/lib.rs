@@ -16,6 +16,9 @@
 //! * [`StatusCode`] and [`ResponseInfo`] — the status-callback vocabulary of
 //!   paper Table 2.
 //! * [`TechType`] — the identifiers technologies report from `enable`.
+//! * [`TraceId`] — the deterministic 64-bit causal trace identifier carried
+//!   in traced frame headers (DESIGN.md §5e), plus the [`frame`] module with
+//!   the directed/acked/ack frame shapes of the reliable data path.
 //!
 //! # Example
 //!
@@ -42,14 +45,20 @@
 
 mod address;
 mod error;
+pub mod frame;
 mod kind;
 mod packed;
 mod status;
 mod tech;
+mod trace_id;
 
 pub use address::{BleAddress, MeshAddress, NfcAddress, OmniAddress};
 pub use error::WireError;
 pub use kind::ContentKind;
-pub use packed::{AddressBeaconPayload, PackedStruct, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN};
+pub use packed::{
+    AddressBeaconPayload, PackedStruct, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN, TRACE_FLAG,
+    TRACE_LEN,
+};
 pub use status::{ResponseInfo, StatusCode};
 pub use tech::TechType;
+pub use trace_id::TraceId;

@@ -10,10 +10,18 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use crate::{BleAddress, ContentKind, MeshAddress, OmniAddress, WireError};
+use crate::{BleAddress, ContentKind, MeshAddress, OmniAddress, TraceId, WireError};
 
 /// Fixed header length: 1 kind byte + 8 `omni_address` bytes.
 pub const HEADER_LEN: usize = 9;
+
+/// High bit of the kind byte: set when an 8-byte [`TraceId`] follows the
+/// fixed header. The low 7 bits remain the [`ContentKind`] byte, so untraced
+/// frames are bit-identical to the pre-tracing wire format.
+pub const TRACE_FLAG: u8 = 0x80;
+
+/// Extra bytes a traced frame carries after the fixed header.
+pub const TRACE_LEN: usize = 8;
 
 /// Address beacon payload length: 8 bytes WiFi-Mesh address + 6 bytes BLE
 /// address.
@@ -35,34 +43,60 @@ pub struct PackedStruct {
     pub source: OmniAddress,
     /// Variable-length application or beacon payload.
     pub payload: Bytes,
+    /// Optional causal trace ID (data transfers) or discovery epoch
+    /// (address beacons). Encoded as 8 extra bytes after the header, flagged
+    /// by [`TRACE_FLAG`] in the kind byte; `None` keeps the legacy layout.
+    pub trace: Option<TraceId>,
 }
 
 impl PackedStruct {
     /// Builds a context transmission.
     pub fn context(source: OmniAddress, payload: impl Into<Bytes>) -> Self {
-        PackedStruct { kind: ContentKind::Context, source, payload: payload.into() }
+        PackedStruct { kind: ContentKind::Context, source, payload: payload.into(), trace: None }
     }
 
     /// Builds a data transmission.
     pub fn data(source: OmniAddress, payload: impl Into<Bytes>) -> Self {
-        PackedStruct { kind: ContentKind::Data, source, payload: payload.into() }
+        PackedStruct { kind: ContentKind::Data, source, payload: payload.into(), trace: None }
     }
 
     /// Builds an address beacon carrying the sender's low-level addresses.
     pub fn address_beacon(source: OmniAddress, beacon: &AddressBeaconPayload) -> Self {
-        PackedStruct { kind: ContentKind::AddressBeacon, source, payload: beacon.encode() }
+        PackedStruct {
+            kind: ContentKind::AddressBeacon,
+            source,
+            payload: beacon.encode(),
+            trace: None,
+        }
+    }
+
+    /// Stamps a trace ID (or, for beacons, a discovery epoch) onto this
+    /// transmission.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Total encoded length in bytes.
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + self.payload.len()
+        HEADER_LEN + if self.trace.is_some() { TRACE_LEN } else { 0 } + self.payload.len()
     }
 
     /// Encodes to the tightly packed wire form.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
-        buf.put_u8(self.kind.as_byte());
-        buf.put_slice(&self.source.to_bytes());
+        match self.trace {
+            Some(t) => {
+                buf.put_u8(self.kind.as_byte() | TRACE_FLAG);
+                buf.put_slice(&self.source.to_bytes());
+                buf.put_u64(t.as_u64());
+            }
+            None => {
+                buf.put_u8(self.kind.as_byte());
+                buf.put_slice(&self.source.to_bytes());
+            }
+        }
         buf.put_slice(&self.payload);
         buf.freeze()
     }
@@ -72,19 +106,53 @@ impl PackedStruct {
     /// # Errors
     ///
     /// Returns [`WireError::Truncated`] if fewer than [`HEADER_LEN`] bytes are
-    /// present, or [`WireError::UnknownKind`] for an unrecognized kind byte.
+    /// present (or fewer than `HEADER_LEN + TRACE_LEN` when the kind byte
+    /// carries [`TRACE_FLAG`]), or [`WireError::UnknownKind`] for an
+    /// unrecognized kind byte.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         if bytes.len() < HEADER_LEN {
             return Err(WireError::Truncated { needed: HEADER_LEN, got: bytes.len() });
         }
-        let kind = ContentKind::from_byte(bytes[0])?;
+        let traced = bytes[0] & TRACE_FLAG != 0;
+        let kind = ContentKind::from_byte(bytes[0] & !TRACE_FLAG)?;
         let mut addr = [0u8; 8];
         addr.copy_from_slice(&bytes[1..9]);
+        let (trace, body) = if traced {
+            if bytes.len() < HEADER_LEN + TRACE_LEN {
+                return Err(WireError::Truncated {
+                    needed: HEADER_LEN + TRACE_LEN,
+                    got: bytes.len(),
+                });
+            }
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[HEADER_LEN..HEADER_LEN + TRACE_LEN]);
+            // Zero is reserved for "untraced"; a flagged-but-zero field
+            // decodes as None rather than erroring, so re-encoding such a
+            // frame canonicalizes it.
+            (TraceId::from_u64(u64::from_be_bytes(raw)), HEADER_LEN + TRACE_LEN)
+        } else {
+            (None, HEADER_LEN)
+        };
         Ok(PackedStruct {
             kind,
             source: OmniAddress::from_bytes(addr),
-            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..]),
+            payload: Bytes::copy_from_slice(&bytes[body..]),
+            trace,
         })
+    }
+
+    /// Reads the trace ID out of an encoded frame without a full decode.
+    ///
+    /// Returns `None` for untraced, truncated, or flagged-but-zero frames.
+    /// Used by the simulator's fault layer to attribute dropped frames to
+    /// traces without paying for payload copies.
+    pub fn peek_trace(bytes: &[u8]) -> Option<TraceId> {
+        if bytes.len() < HEADER_LEN + TRACE_LEN || bytes[0] & TRACE_FLAG == 0 {
+            return None;
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[HEADER_LEN..HEADER_LEN + TRACE_LEN]);
+        TraceId::from_u64(u64::from_be_bytes(raw))
     }
 
     /// Decodes the payload as an address beacon.
@@ -234,5 +302,76 @@ mod tests {
     fn beacon_payload_on_non_beacon_is_an_error() {
         let p = PackedStruct::data(addr(), &b"not a beacon"[..]);
         assert!(p.beacon_payload().is_err());
+    }
+
+    #[test]
+    fn traced_frame_roundtrips_and_flags_the_kind_byte() {
+        let t = TraceId::derive(addr(), 3);
+        let p = PackedStruct::data(addr(), &b"payload"[..]).with_trace(t);
+        assert_eq!(p.encoded_len(), HEADER_LEN + TRACE_LEN + 7);
+        let wire = p.encode();
+        assert_eq!(wire.len(), p.encoded_len());
+        assert_eq!(wire[0], ContentKind::Data.as_byte() | TRACE_FLAG);
+        assert_eq!(&wire[1..9], &addr().to_bytes());
+        assert_eq!(&wire[9..17], &t.as_u64().to_be_bytes());
+        assert_eq!(&wire[17..], b"payload");
+        let decoded = PackedStruct::decode(&wire).unwrap();
+        assert_eq!(decoded, p);
+        assert_eq!(decoded.trace, Some(t));
+    }
+
+    #[test]
+    fn untraced_frames_keep_the_legacy_layout() {
+        let p = PackedStruct::data(addr(), &b"x"[..]);
+        let wire = p.encode();
+        assert_eq!(wire[0], ContentKind::Data.as_byte());
+        assert_eq!(wire.len(), HEADER_LEN + 1);
+        assert_eq!(PackedStruct::decode(&wire).unwrap().trace, None);
+    }
+
+    #[test]
+    fn traced_frame_truncated_in_the_trace_field_is_rejected() {
+        let t = TraceId::derive(addr(), 0);
+        let wire = PackedStruct::data(addr(), Bytes::new()).with_trace(t).encode();
+        for len in HEADER_LEN..HEADER_LEN + TRACE_LEN {
+            assert_eq!(
+                PackedStruct::decode(&wire[..len]),
+                Err(WireError::Truncated { needed: HEADER_LEN + TRACE_LEN, got: len })
+            );
+        }
+    }
+
+    #[test]
+    fn flagged_zero_trace_decodes_as_untraced() {
+        let mut wire = vec![ContentKind::Data.as_byte() | TRACE_FLAG];
+        wire.extend_from_slice(&addr().to_bytes());
+        wire.extend_from_slice(&[0u8; TRACE_LEN]);
+        wire.push(0xab);
+        let decoded = PackedStruct::decode(&wire).unwrap();
+        assert_eq!(decoded.trace, None);
+        assert_eq!(&decoded.payload[..], &[0xab]);
+    }
+
+    #[test]
+    fn peek_trace_matches_full_decode() {
+        let t = TraceId::derive(addr(), 9);
+        let traced = PackedStruct::context(addr(), &b"ctx"[..]).with_trace(t).encode();
+        assert_eq!(PackedStruct::peek_trace(&traced), Some(t));
+        let plain = PackedStruct::context(addr(), &b"ctx"[..]).encode();
+        assert_eq!(PackedStruct::peek_trace(&plain), None);
+        assert_eq!(PackedStruct::peek_trace(&traced[..12]), None);
+    }
+
+    #[test]
+    fn beacons_carry_a_discovery_epoch_in_the_same_field() {
+        let b = AddressBeaconPayload {
+            mesh: Some(MeshAddress::from_u64(1)),
+            ble: Some(BleAddress::from_u64(2)),
+        };
+        let epoch = TraceId::derive(addr(), 0);
+        let p = PackedStruct::address_beacon(addr(), &b).with_trace(epoch);
+        let decoded = PackedStruct::decode(&p.encode()).unwrap();
+        assert_eq!(decoded.trace, Some(epoch));
+        assert_eq!(decoded.beacon_payload().unwrap(), b);
     }
 }

@@ -74,7 +74,13 @@ pub enum ResponseInfo {
         context_id: Option<u64>,
     },
     /// The destination a data send succeeded for (`SEND_DATA_SUCCESS`).
-    Destination(OmniAddress),
+    Destination {
+        /// The destination the send reached.
+        destination: OmniAddress,
+        /// The causal trace ID stamped on the transfer (see
+        /// [`crate::TraceId`]; zero means untraced).
+        trace: u64,
+    },
     /// A failed data send: description plus the destination
     /// (`SEND_DATA_FAILURE`).
     SendFailure {
@@ -82,6 +88,8 @@ pub enum ResponseInfo {
         description: String,
         /// The destination the send was addressed to.
         destination: OmniAddress,
+        /// The causal trace ID stamped on the transfer (zero means untraced).
+        trace: u64,
     },
     /// A data send that exhausted its retry budget across every applicable
     /// technology (`SEND_DATA_FAILURE` from the reliable data path).
@@ -93,6 +101,8 @@ pub enum ResponseInfo {
         /// Every technology that was attempted before giving up, in first-try
         /// order.
         techs: Vec<TechType>,
+        /// The causal trace ID stamped on the transfer (zero means untraced).
+        trace: u64,
     },
 }
 
@@ -109,9 +119,20 @@ impl ResponseInfo {
     /// Extracts the destination, if this response carries one.
     pub fn destination(&self) -> Option<OmniAddress> {
         match self {
-            ResponseInfo::Destination(d) => Some(*d),
-            ResponseInfo::SendFailure { destination, .. }
+            ResponseInfo::Destination { destination, .. }
+            | ResponseInfo::SendFailure { destination, .. }
             | ResponseInfo::SendExhausted { destination, .. } => Some(*destination),
+            _ => None,
+        }
+    }
+
+    /// Extracts the causal trace ID, if this response concerns a traced data
+    /// send (zero-valued/untraced sends report `None`).
+    pub fn trace(&self) -> Option<u64> {
+        match self {
+            ResponseInfo::Destination { trace, .. }
+            | ResponseInfo::SendFailure { trace, .. }
+            | ResponseInfo::SendExhausted { trace, .. } => (*trace != 0).then_some(*trace),
             _ => None,
         }
     }
@@ -134,11 +155,13 @@ impl fmt::Display for ResponseInfo {
                 Some(id) => write!(f, "context #{id}: {description}"),
                 None => write!(f, "context: {description}"),
             },
-            ResponseInfo::Destination(d) => write!(f, "destination {d}"),
-            ResponseInfo::SendFailure { description, destination } => {
+            ResponseInfo::Destination { destination, .. } => {
+                write!(f, "destination {destination}")
+            }
+            ResponseInfo::SendFailure { description, destination, .. } => {
                 write!(f, "send to {destination} failed: {description}")
             }
-            ResponseInfo::SendExhausted { description, destination, techs } => {
+            ResponseInfo::SendExhausted { description, destination, techs, .. } => {
                 write!(f, "send to {destination} failed: {description} (exhausted")
                     .and_then(|()| {
                         for t in techs {
@@ -183,18 +206,24 @@ mod tests {
     #[test]
     fn response_info_accessors() {
         let d = OmniAddress::from_u64(7);
+        let ok = ResponseInfo::Destination { destination: d, trace: 0xfeed };
         assert_eq!(ResponseInfo::ContextId(3).context_id(), Some(3));
-        assert_eq!(ResponseInfo::Destination(d).destination(), Some(d));
-        assert_eq!(ResponseInfo::Destination(d).context_id(), None);
-        let fail = ResponseInfo::SendFailure { description: "timeout".into(), destination: d };
+        assert_eq!(ok.destination(), Some(d));
+        assert_eq!(ok.context_id(), None);
+        assert_eq!(ok.trace(), Some(0xfeed));
+        let fail =
+            ResponseInfo::SendFailure { description: "timeout".into(), destination: d, trace: 0 };
         assert_eq!(fail.destination(), Some(d));
         assert_eq!(fail.exhausted_techs(), None);
+        assert_eq!(fail.trace(), None, "zero means untraced");
         let exhausted = ResponseInfo::SendExhausted {
             description: "retry budget spent".into(),
             destination: d,
             techs: vec![TechType::BleBeacon, TechType::WifiTcp],
+            trace: 0xbeef,
         };
         assert_eq!(exhausted.destination(), Some(d));
+        assert_eq!(exhausted.trace(), Some(0xbeef));
         assert_eq!(
             exhausted.exhausted_techs(),
             Some(&[TechType::BleBeacon, TechType::WifiTcp][..])
@@ -202,6 +231,7 @@ mod tests {
         let cfail =
             ResponseInfo::ContextFailure { description: "no tech".into(), context_id: Some(9) };
         assert_eq!(cfail.context_id(), Some(9));
+        assert_eq!(cfail.trace(), None);
     }
 
     #[test]
@@ -210,12 +240,13 @@ mod tests {
         for r in [
             ResponseInfo::ContextId(1),
             ResponseInfo::ContextFailure { description: "x".into(), context_id: None },
-            ResponseInfo::Destination(d),
-            ResponseInfo::SendFailure { description: "x".into(), destination: d },
+            ResponseInfo::Destination { destination: d, trace: 1 },
+            ResponseInfo::SendFailure { description: "x".into(), destination: d, trace: 1 },
             ResponseInfo::SendExhausted {
                 description: "x".into(),
                 destination: d,
                 techs: vec![TechType::BleBeacon],
+                trace: 1,
             },
         ] {
             assert!(!r.to_string().is_empty());
@@ -228,6 +259,7 @@ mod tests {
             description: "retry budget spent".into(),
             destination: OmniAddress::from_u64(7),
             techs: vec![TechType::BleBeacon, TechType::WifiTcp],
+            trace: 1,
         };
         let s = r.to_string();
         assert!(s.contains("ble-beacon"), "{s}");

@@ -1,0 +1,107 @@
+//! Compact 64-bit causal trace identifiers.
+//!
+//! Every directed data transfer (and every address-beacon registration, where
+//! the same field doubles as a *discovery epoch*) is stamped with a
+//! [`TraceId`] at its origin. The ID travels inside the wire header (see
+//! [`crate::PackedStruct`]), is echoed on link-layer acks, and is reported
+//! with every observability event the transfer produces on any node — so a
+//! fleet-wide event dump can be re-joined into per-message causal timelines.
+//!
+//! # Determinism
+//!
+//! IDs are **derived, not random**: [`TraceId::derive`] mixes the sender's
+//! `omni_address` with a per-node monotonic counter through a fixed 64-bit
+//! finalizer. Two runs of the same seed therefore stamp byte-identical IDs
+//! on byte-identical frames, which keeps replay-based debugging and the
+//! byte-identical-trace-dump guarantee (DESIGN.md §5e) intact.
+
+use core::fmt;
+use core::num::NonZeroU64;
+
+use crate::OmniAddress;
+
+/// A 64-bit causal trace identifier (never zero; zero on the wire means
+/// "untraced").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(NonZeroU64);
+
+impl TraceId {
+    /// Derives the trace ID for the `seq`-th traced item originated by
+    /// `origin`.
+    ///
+    /// The derivation is a splitmix64-style finalizer over
+    /// `origin ^ (seq * φ64)`: deterministic, collision-resistant across the
+    /// (address, counter) space, and cheap enough to run per send. The
+    /// all-zero output (probability ≈ 2⁻⁶⁴) is mapped to 1 so the wire can
+    /// reserve zero for "untraced".
+    pub fn derive(origin: OmniAddress, seq: u64) -> Self {
+        let mut z = origin.as_u64() ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TraceId(NonZeroU64::new(z).unwrap_or(NonZeroU64::MIN))
+    }
+
+    /// The raw 64-bit value (never zero).
+    pub const fn as_u64(self) -> u64 {
+        self.0.get()
+    }
+
+    /// Reconstructs a trace ID from its raw wire value.
+    ///
+    /// Returns `None` for zero, the reserved "untraced" value.
+    pub const fn from_u64(v: u64) -> Option<Self> {
+        match NonZeroU64::new(v) {
+            Some(nz) => Some(TraceId(nz)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(v: u64) -> OmniAddress {
+        OmniAddress::from_u64(v)
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = TraceId::derive(addr(0xdead_beef), 7);
+        let b = TraceId::derive(addr(0xdead_beef), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_inputs_give_distinct_ids() {
+        let mut seen = std::collections::HashSet::new();
+        for origin in [1u64, 2, 0xffff_ffff_ffff_ffff, 0x0123_4567_89ab_cdef] {
+            for seq in 0..256u64 {
+                assert!(seen.insert(TraceId::derive(addr(origin), seq).as_u64()));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_is_reserved_for_untraced() {
+        assert_eq!(TraceId::from_u64(0), None);
+        let id = TraceId::derive(addr(0), 0);
+        assert_ne!(id.as_u64(), 0);
+        assert_eq!(TraceId::from_u64(id.as_u64()), Some(id));
+    }
+
+    #[test]
+    fn display_is_sixteen_hex_digits() {
+        let id = TraceId::derive(addr(42), 1);
+        let s = id.to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

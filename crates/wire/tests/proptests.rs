@@ -2,8 +2,8 @@
 
 use bytes::Bytes;
 use omni_wire::{
-    AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
-    WireError, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN,
+    AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct, TraceId,
+    WireError, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN, TRACE_LEN,
 };
 use proptest::prelude::*;
 
@@ -15,14 +15,22 @@ fn arb_kind() -> impl Strategy<Value = ContentKind> {
     ]
 }
 
+fn arb_trace() -> impl Strategy<Value = Option<TraceId>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(origin, seq)| Some(TraceId::derive(OmniAddress::from_u64(origin), seq))),
+    ]
+}
+
 fn arb_packed() -> impl Strategy<Value = PackedStruct> {
-    (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512)).prop_map(
-        |(kind, addr, payload)| PackedStruct {
+    (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512), arb_trace())
+        .prop_map(|(kind, addr, payload, trace)| PackedStruct {
             kind,
             source: OmniAddress::from_u64(addr),
             payload: Bytes::from(payload),
-        },
-    )
+            trace,
+        })
 }
 
 proptest! {
@@ -33,10 +41,12 @@ proptest! {
         prop_assert_eq!(decoded, p);
     }
 
-    /// Encoded length is always header + payload, with no padding.
+    /// Encoded length is always header (+ trace when stamped) + payload,
+    /// with no padding.
     #[test]
     fn encoded_len_is_exact(p in arb_packed()) {
-        prop_assert_eq!(p.encode().len(), HEADER_LEN + p.payload.len());
+        let trace_len = if p.trace.is_some() { TRACE_LEN } else { 0 };
+        prop_assert_eq!(p.encode().len(), HEADER_LEN + trace_len + p.payload.len());
         prop_assert_eq!(p.encoded_len(), p.encode().len());
     }
 
@@ -46,14 +56,35 @@ proptest! {
     fn decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         match PackedStruct::decode(&bytes) {
             Ok(p) => {
-                // Re-encoding a successful decode reproduces the input.
+                // Decode → encode → decode is a fixpoint. (Plain re-encoding
+                // may legally shrink one non-canonical input: a frame whose
+                // kind byte sets the trace flag over an all-zero trace field
+                // decodes as untraced and re-encodes without the flag.)
                 let reencoded = p.encode();
-                prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+                let again = PackedStruct::decode(&reencoded).unwrap();
+                prop_assert_eq!(&again, &p);
+                prop_assert_eq!(again.encode().as_ref(), reencoded.as_ref());
+                if bytes[0] & omni_wire::TRACE_FLAG == 0 || p.trace.is_some() {
+                    // Canonical inputs re-encode byte-identically.
+                    prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+                }
             }
-            Err(WireError::Truncated { got, .. }) => prop_assert!(got < HEADER_LEN),
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert!(got < needed);
+                prop_assert!(needed == HEADER_LEN || needed == HEADER_LEN + TRACE_LEN);
+            }
             Err(WireError::UnknownKind(k)) => prop_assert!(k > 2),
             Err(e) => prop_assert!(false, "unexpected error {e}"),
         }
+    }
+
+    /// The flag-bit layout: a stamped trace always roundtrips through encode
+    /// and through the cheap header peek.
+    #[test]
+    fn trace_roundtrips_and_peeks(p in arb_packed()) {
+        let wire = p.encode();
+        prop_assert_eq!(PackedStruct::peek_trace(&wire), p.trace);
+        prop_assert_eq!(PackedStruct::decode(&wire).unwrap().trace, p.trace);
     }
 
     /// Address beacon payload roundtrips for any pair of (possibly absent)

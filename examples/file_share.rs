@@ -7,6 +7,7 @@
 use omni::apps::disseminate::{omni_disseminate, FileSpec};
 use omni::core::{OmniBuilder, OmniStack};
 use omni::sim::{DeviceCaps, Position, Runner, SimConfig, SimTime};
+use omni_bench::ObsRun;
 
 fn main() {
     let rate_bps = 1_000_000.0; // a 1000 KBps infrastructure link each
@@ -14,12 +15,16 @@ fn main() {
 
     let mut sim = Runner::new(SimConfig::default());
     sim.trace_mut().set_enabled(false);
+    // Shared observability handle; its drop prints the snapshot and writes
+    // `target/obs/file_share.json`.
+    let obs = ObsRun::new("file_share");
+    sim.set_obs(obs.clone());
     let mut reports = Vec::new();
     for i in 0..3 {
         let d = sim.add_device(DeviceCaps::PI, Position::new(5.0 * i as f64, 0.0));
         sim.set_infra_rate(d, rate_bps);
         let (init, report) = omni_disseminate(spec, i, 3);
-        let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, d);
+        let mgr = OmniBuilder::new().with_ble().with_wifi().with_obs(&obs).build(&sim, d);
         sim.set_stack(d, Box::new(OmniStack::new(mgr, init)));
         reports.push((d, report));
     }

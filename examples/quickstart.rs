@@ -6,9 +6,15 @@
 use bytes::Bytes;
 use omni::core::{ContextParams, OmniBuilder, OmniStack};
 use omni::sim::{DeviceCaps, Position, Runner, SimConfig, SimTime};
+use omni_bench::ObsRun;
 
 fn main() {
+    // One observability handle spans the sim and both stacks; when `obs`
+    // drops at the end of `main`, the run's metrics/event snapshot is
+    // printed and written to `target/obs/quickstart.json`.
+    let obs = ObsRun::new("quickstart");
     let mut sim = Runner::new(SimConfig::default());
+    sim.set_obs(obs.clone());
 
     // Two phone-class devices five meters apart.
     let alice = sim.add_device(DeviceCaps::PI, Position::new(0.0, 0.0));
@@ -19,7 +25,7 @@ fn main() {
     // sensor reading. She never names a radio: context rides BLE beacons,
     // data rides TCP over WiFi-Mesh using the address learned during
     // neighbor discovery.
-    let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, alice);
+    let mgr = OmniBuilder::new().with_ble().with_wifi().with_obs(&obs).build(&sim, alice);
     sim.set_stack(
         alice,
         Box::new(OmniStack::new(mgr, move |omni| {
@@ -43,7 +49,7 @@ fn main() {
     );
 
     // Bob listens for context and data.
-    let mgr = OmniBuilder::new().with_ble().with_wifi().build(&sim, bob);
+    let mgr = OmniBuilder::new().with_ble().with_wifi().with_obs(&obs).build(&sim, bob);
     sim.set_stack(
         bob,
         Box::new(OmniStack::new(mgr, |omni| {

@@ -24,4 +24,7 @@ cargo run --release -p omni-bench --bin reliability -- --smoke
 echo "== scale smoke (1000-node tick budget) =="
 cargo run --release -p omni-bench --bin scale -- --smoke
 
+echo "== trace smoke (flight-recorder completeness + determinism) =="
+cargo run --release -p omni-bench --bin trace -- --smoke
+
 echo "ci: all green"
