@@ -1,0 +1,58 @@
+//! Baseline comparator CLI for `scripts/bench_baseline.sh`.
+//!
+//! ```text
+//! baseline compare <committed.json> <fresh.json>
+//! ```
+//!
+//! Parses both files with [`omni_bench::baseline::Baseline`], compares the
+//! fresh run against the committed tolerance bands, prints one line per
+//! violation, and exits non-zero when any **gated** metric drifted (or the
+//! files disagree on bench name or mode).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use omni_bench::baseline::Baseline;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [cmd, committed, fresh] = args.as_slice() else {
+        eprintln!("usage: baseline compare <committed.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    if cmd != "compare" {
+        eprintln!("unknown command {cmd:?}; only `compare` is supported");
+        return ExitCode::from(2);
+    }
+    let committed = match Baseline::read(Path::new(committed)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("baseline: cannot read committed baseline: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let fresh = match Baseline::read(Path::new(fresh)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("baseline: cannot read fresh run: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let violations = fresh.compare_against(&committed);
+    if violations.is_empty() {
+        let gated = committed.metrics.iter().filter(|(_, m)| m.gate).count();
+        println!("baseline {}: {} gated metric(s) within tolerance", committed.bench, gated);
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("baseline DRIFT: {v}");
+        }
+        eprintln!(
+            "baseline {}: {} violation(s) — if the drift is intended, refresh with \
+             scripts/bench_baseline.sh --update",
+            committed.bench,
+            violations.len()
+        );
+        ExitCode::from(1)
+    }
+}

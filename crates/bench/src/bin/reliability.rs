@@ -17,6 +17,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
+use omni_bench::baseline::Baseline;
 use omni_bench::report::{Cell, Chart, Table};
 use omni_bench::ObsRun;
 use omni_core::{OmniBuilder, OmniConfig, OmniStack, RetryPolicy};
@@ -173,6 +174,10 @@ fn main() {
         wild.concluded_once, MSGS,
         "every send must conclude with exactly one terminal status"
     );
+    let mut bline = Baseline::new("reliability", smoke);
+    bline.gate("wild_delivered", wild.delivered as f64, 0.0);
+    bline.gate("wild_concluded_once", wild.concluded_once as f64, 0.0);
+    bline.gate("wild_succeeded", wild.succeeded as f64, 0.0);
 
     if !smoke {
         let mut table = Table::new(
@@ -195,11 +200,15 @@ fn main() {
             );
             chart.bar(format!("naive @{:.0}%", loss * 100.0), naive.delivery_pct());
             chart.bar(format!("reliable @{:.0}%", loss * 100.0), reliable.delivery_pct());
+            let pct = (loss * 100.0) as u64;
+            bline.gate(&format!("loss{pct}_naive_delivered"), naive.delivered as f64, 0.0);
+            bline.gate(&format!("loss{pct}_reliable_delivered"), reliable.delivered as f64, 0.0);
         }
         print!("{}", table.render());
         println!();
         print!("{}", chart.render());
     }
+    omni_bench::baseline::emit(&bline);
 
     println!("reliability: ok");
 }

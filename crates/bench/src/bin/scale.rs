@@ -19,6 +19,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use omni_bench::baseline::Baseline;
 use omni_bench::report::{Chart, Table};
 use omni_bench::ObsRun;
 use omni_obs::Obs;
@@ -135,9 +136,16 @@ fn main() {
             cell.mean_tick_us,
             SMOKE_BUDGET_MEAN_US
         );
+        let mut b = Baseline::new("scale", true);
+        b.gate("n1000_heard", cell.heard as f64, 0.0);
+        b.info("n1000_ticks_per_sec", cell.ticks_per_sec);
+        b.info("n1000_mean_tick_us", cell.mean_tick_us);
+        b.info("n1000_p95_tick_us", cell.p95_tick_us as f64);
+        omni_bench::baseline::emit(&b);
         println!("scale: ok");
         return;
     }
+    let mut bline = Baseline::new("scale", false);
 
     let mut table = Table::new(
         "Simulator throughput vs. fleet size (40 beacon rounds)",
@@ -160,6 +168,8 @@ fn main() {
             ],
         );
         chart.bar(format!("{n} nodes"), cell.ticks_per_sec);
+        bline.gate(&format!("n{n}_heard"), cell.heard as f64, 0.0);
+        bline.info(&format!("n{n}_ticks_per_sec"), cell.ticks_per_sec);
         if n == 1000 {
             grid_1000 = Some(cell);
         }
@@ -181,6 +191,9 @@ fn main() {
         speedup >= 10.0,
         "spatial grid must be ≥10× the brute-force scan at 1000 nodes, got {speedup:.1}×"
     );
+
+    bline.info("n1000_grid_speedup", speedup);
+    omni_bench::baseline::emit(&bline);
 
     print!("{}", table.render());
     println!();

@@ -68,6 +68,20 @@ fn tech_label(ty: TechType) -> &'static str {
     }
 }
 
+/// Dense index for the per-technology instrument arrays in [`MgrObs`].
+fn tech_idx(ty: TechType) -> usize {
+    match ty {
+        TechType::BleBeacon => 0,
+        TechType::WifiMulticast => 1,
+        TechType::WifiTcp => 2,
+        TechType::Nfc => 3,
+    }
+}
+
+/// Every technology, in [`tech_idx`] order.
+const ALL_TECHS: [TechType; 4] =
+    [TechType::BleBeacon, TechType::WifiMulticast, TechType::WifiTcp, TechType::Nfc];
+
 /// Label of a technology's private send queue.
 fn send_queue_label(ty: TechType) -> &'static str {
     match ty {
@@ -96,6 +110,14 @@ struct MgrObs {
     retry_count: Histogram,
     backoff_us: Histogram,
     context_ops: Counter,
+    /// `mgr.data_sent{tech=..}`, indexed by [`tech_idx`] — the labeled
+    /// slice of `data_sent`, so telemetry can attribute load per carrier.
+    sent_by_tech: [Counter; 4],
+    /// `mgr.data_delivered{tech=..}`, indexed by [`tech_idx`].
+    delivered_by_tech: [Counter; 4],
+    /// `mgr.send_latency_us{tech=..}`: enqueue → terminal DataSent, in sim
+    /// microseconds, indexed by [`tech_idx`].
+    send_latency_us: [Histogram; 4],
     /// Fresh-peer snapshot from the previous engagement evaluation, for
     /// `PeerExpired` detection (independent of the adaptive-beacon state).
     fresh_prev: BTreeSet<OmniAddress>,
@@ -120,6 +142,12 @@ impl MgrObs {
             retry_count: obs.histogram("mgr.data_retry_count"),
             backoff_us: obs.histogram("mgr.data_backoff_us"),
             context_ops: obs.counter("mgr.context_ops"),
+            sent_by_tech: ALL_TECHS
+                .map(|ty| obs.counter_with("mgr.data_sent", &[("tech", tech_label(ty))])),
+            delivered_by_tech: ALL_TECHS
+                .map(|ty| obs.counter_with("mgr.data_delivered", &[("tech", tech_label(ty))])),
+            send_latency_us: ALL_TECHS
+                .map(|ty| obs.histogram_with("mgr.send_latency_us", &[("tech", tech_label(ty))])),
             fresh_prev: BTreeSet::new(),
         }
     }
@@ -166,6 +194,9 @@ struct DataSend {
     /// Causal trace ID stamped on every frame, event, and status callback
     /// this send produces.
     trace: TraceId,
+    /// When the application handed us this send — the zero point of the
+    /// per-tech `mgr.send_latency_us` histogram.
+    enqueued_at: SimTime,
 }
 
 enum Pending {
@@ -603,6 +634,7 @@ impl OmniManager {
                 let payload = item.packed.payload.clone();
                 if let Some(m) = &self.mgr_obs {
                     m.data_delivered.inc();
+                    m.delivered_by_tech[tech_idx(item.tech)].inc();
                     m.event(
                         now,
                         EventKind::DataDelivered {
@@ -766,6 +798,10 @@ impl OmniManager {
                     }
                     if let Some(m) = &self.mgr_obs {
                         m.data_sent.inc();
+                        m.sent_by_tech[tech_idx(tech)].inc();
+                        m.send_latency_us[tech_idx(tech)].record(
+                            api.now.as_micros().saturating_sub(send.enqueued_at.as_micros()),
+                        );
                         m.event(
                             api.now,
                             EventKind::DataSent {
@@ -1126,6 +1162,7 @@ impl OmniManager {
             tried: Vec::new(),
             current: None,
             trace,
+            enqueued_at: api.now,
         };
         if cands.is_empty() {
             // Reliable mode: the peer may be mid-partition or mid-reboot;

@@ -143,6 +143,19 @@ pub enum EventKind {
         /// The node (`DeviceId.0`).
         node: u64,
     },
+    /// The health monitor moved between fleet health states.  Recorded with
+    /// the fleet-scope node id (`u32::MAX`) — health is derived from
+    /// fleet-wide windowed series, not from any single device.
+    HealthTransition {
+        /// State being left: `"healthy"`, `"degraded"`, or `"critical"`.
+        from: &'static str,
+        /// State being entered.
+        to: &'static str,
+        /// The signal that tripped (or cleared) the transition:
+        /// `"delivery-ratio"`, `"queue-depth"`, `"beacon-staleness"`,
+        /// `"node-down"`, or `"recovered"`.
+        cause: &'static str,
+    },
 }
 
 impl EventKind {
@@ -167,6 +180,7 @@ impl EventKind {
             EventKind::FrameDropped { .. } => "FrameDropped",
             EventKind::LinkPartitioned { .. } => "LinkPartitioned",
             EventKind::NodeDown { .. } => "NodeDown",
+            EventKind::HealthTransition { .. } => "HealthTransition",
         }
     }
 
@@ -332,6 +346,11 @@ mod tests {
         );
         assert_eq!(EventKind::LinkPartitioned { a: 0, b: 1 }.name(), "LinkPartitioned");
         assert_eq!(EventKind::NodeDown { node: 0 }.name(), "NodeDown");
+        assert_eq!(
+            EventKind::HealthTransition { from: "healthy", to: "degraded", cause: "queue-depth" }
+                .name(),
+            "HealthTransition"
+        );
     }
 
     #[test]

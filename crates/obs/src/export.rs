@@ -54,8 +54,8 @@ impl Snapshot {
         for (name, v) in &self.metrics.counters {
             let _ = writeln!(out, "{name:<width$}  {v}");
         }
-        for (name, v) in &self.metrics.gauges {
-            let _ = writeln!(out, "{name:<width$}  {v}");
+        for (name, g) in &self.metrics.gauges {
+            let _ = writeln!(out, "{name:<width$}  {} (lo={} hi={})", g.value, g.lo, g.hi);
         }
         for (name, h) in &self.metrics.histograms {
             let _ = writeln!(
@@ -83,11 +83,18 @@ impl Snapshot {
             let _ = write!(out, "\n    {}: {v}", json_str(name));
         }
         out.push_str("\n  },\n  \"gauges\": {");
-        for (i, (name, v)) in self.metrics.gauges.iter().enumerate() {
+        for (i, (name, g)) in self.metrics.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\n    {}: {v}", json_str(name));
+            let _ = write!(
+                out,
+                "\n    {}: {{\"value\": {}, \"lo\": {}, \"hi\": {}}}",
+                json_str(name),
+                g.value,
+                g.lo,
+                g.hi
+            );
         }
         out.push_str("\n  },\n  \"histograms\": {");
         for (i, (name, h)) in self.metrics.histograms.iter().enumerate() {
@@ -198,6 +205,15 @@ pub fn event_json(e: &Event) -> String {
         EventKind::NodeDown { node } => {
             let _ = write!(out, ", \"node\": {node}");
         }
+        EventKind::HealthTransition { from, to, cause } => {
+            let _ = write!(
+                out,
+                ", \"from\": {}, \"to\": {}, \"cause\": {}",
+                json_str(from),
+                json_str(to),
+                json_str(cause)
+            );
+        }
     }
     out.push('}');
     out
@@ -246,9 +262,55 @@ mod tests {
 
         let json = snap.to_json();
         assert!(json.contains("\"tech.ble-beacon.tx_frames\": 3"));
-        assert!(json.contains("\"queue.receive.depth\": 2"));
+        assert!(json.contains("\"queue.receive.depth\": {\"value\": 2, \"lo\": 0, \"hi\": 2}"));
         assert!(json.contains("\"kind\": \"BeaconSent\""));
         assert!(json.contains("\"events_dropped\": 0"));
+    }
+
+    #[test]
+    fn overflowed_ring_surfaces_the_drop_count_in_both_exports() {
+        // Regression: the overflow counter must be rendered, not just kept.
+        let obs = Obs::with_event_capacity(4);
+        for t in 0..10 {
+            obs.event(t, 0, EventKind::PeerDiscovered { peer: t });
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.events_dropped, 6);
+        assert!(snap.to_text().contains("4 retained, 6 dropped"));
+        assert!(snap.to_json().contains("\"events_dropped\": 6"));
+    }
+
+    #[test]
+    fn gauge_watermarks_render_in_both_exports() {
+        let obs = Obs::new();
+        let g = obs.gauge("queue.send.depth");
+        g.set(7);
+        g.set(1);
+        let snap = obs.snapshot();
+        assert!(snap.to_text().contains("queue.send.depth"));
+        assert!(snap.to_text().contains("1 (lo=0 hi=7)"));
+        assert!(snap
+            .to_json()
+            .contains("\"queue.send.depth\": {\"value\": 1, \"lo\": 0, \"hi\": 7}"));
+    }
+
+    #[test]
+    fn health_transition_event_renders_all_fields() {
+        let e = Event {
+            t_us: 9,
+            node: u32::MAX,
+            kind: EventKind::HealthTransition {
+                from: "healthy",
+                to: "degraded",
+                cause: "delivery-ratio",
+            },
+        };
+        let j = event_json(&e);
+        assert!(j.contains("\"kind\": \"HealthTransition\""));
+        assert!(j.contains("\"from\": \"healthy\""));
+        assert!(j.contains("\"to\": \"degraded\""));
+        assert!(j.contains("\"cause\": \"delivery-ratio\""));
     }
 
     #[test]

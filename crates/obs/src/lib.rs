@@ -12,6 +12,10 @@
 //! * **Events** — a typed [`EventKind`] stream ([`BeaconSent`], …,
 //!   [`QueueDropped`]) in a bounded [`EventRing`] that overwrites the oldest
 //!   entry when full and counts the overflow.
+//! * **Time series** — a fixed-capacity [`SeriesRing`] of windowed
+//!   [`Sample`]s (counter deltas, gauge watermarks, histogram digests) that
+//!   downsamples in place when full, plus bounded-cardinality labeled metrics
+//!   ([`MetricsRegistry::counter_with`] and friends).
 //!
 //! Snapshots render as aligned text ([`Snapshot::to_text`]) or hand-rolled
 //! JSON ([`Snapshot::to_json`]) — this crate deliberately depends on nothing
@@ -42,11 +46,16 @@ mod event;
 mod export;
 mod metrics;
 mod span;
+mod timeseries;
 
 pub use event::{Event, EventKind, EventRing};
 pub use export::{event_json, Snapshot};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRead, MetricsRegistry};
+pub use metrics::{
+    labeled_name, split_labels, Counter, Gauge, GaugeRead, Histogram, HistogramSummary,
+    MetricsRead, MetricsRegistry, MAX_LABEL_SETS,
+};
 pub use span::{ScopeTimer, Stopwatch};
+pub use timeseries::{Sample, SeriesRing};
 
 use std::sync::Arc;
 
@@ -101,6 +110,22 @@ impl Obs {
     /// Get or create the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
         self.inner.metrics.histogram(name)
+    }
+
+    /// Get or create the counter `base` sliced by `labels` (bounded
+    /// cardinality — see [`MetricsRegistry::counter_with`]).
+    pub fn counter_with(&self, base: &str, labels: &[(&str, &str)]) -> Counter {
+        self.inner.metrics.counter_with(base, labels)
+    }
+
+    /// Get or create the gauge `base` sliced by `labels`.
+    pub fn gauge_with(&self, base: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.inner.metrics.gauge_with(base, labels)
+    }
+
+    /// Get or create the histogram `base` sliced by `labels`.
+    pub fn histogram_with(&self, base: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.inner.metrics.histogram_with(base, labels)
     }
 
     /// Record a structured event.

@@ -37,12 +37,36 @@ impl Counter {
     }
 }
 
+#[derive(Debug)]
+struct GaugeInner {
+    value: std::sync::atomic::AtomicI64,
+    /// Lowest value observed since creation (or the last watermark reset).
+    lo: std::sync::atomic::AtomicI64,
+    /// Highest value observed since creation (or the last watermark reset).
+    hi: std::sync::atomic::AtomicI64,
+}
+
+impl Default for GaugeInner {
+    fn default() -> Self {
+        GaugeInner {
+            value: std::sync::atomic::AtomicI64::new(0),
+            lo: std::sync::atomic::AtomicI64::new(0),
+            hi: std::sync::atomic::AtomicI64::new(0),
+        }
+    }
+}
+
 /// A gauge: a value that can move both ways (queue depth, peer-map size).
 ///
 /// Stored as a signed 64-bit integer so transient underflow in concurrent
-/// inc/dec sequences cannot wrap.
+/// inc/dec sequences cannot wrap.  Every mutation also folds the new value
+/// into min/max watermarks ([`Gauge::watermarks`]), so excursions between
+/// snapshots — a queue's high-water mark, say — stay observable.  Watermark
+/// maintenance is a pair of relaxed atomic min/max ops; under concurrent
+/// mutation the watermarks are best-effort (they may briefly lag the value),
+/// which is fine for the single-threaded simulator and for monitoring use.
 #[derive(Clone, Debug, Default)]
-pub struct Gauge(Arc<std::sync::atomic::AtomicI64>);
+pub struct Gauge(Arc<GaugeInner>);
 
 impl Gauge {
     /// Create a free-standing gauge (not attached to a registry).
@@ -50,16 +74,24 @@ impl Gauge {
         Self::default()
     }
 
+    #[inline]
+    fn mark(&self, v: i64) {
+        self.0.lo.fetch_min(v, Ordering::Relaxed);
+        self.0.hi.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Overwrite the value.
     #[inline]
     pub fn set(&self, v: i64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.value.store(v, Ordering::Relaxed);
+        self.mark(v);
     }
 
     /// Add `d` (may be negative).
     #[inline]
     pub fn add(&self, d: i64) {
-        self.0.fetch_add(d, Ordering::Relaxed);
+        let new = self.0.value.fetch_add(d, Ordering::Relaxed) + d;
+        self.mark(new);
     }
 
     /// Increment by one.
@@ -76,7 +108,25 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// The `(lowest, highest)` values observed since creation or the last
+    /// [`Gauge::take_watermarks`].
+    pub fn watermarks(&self) -> (i64, i64) {
+        (self.0.lo.load(Ordering::Relaxed), self.0.hi.load(Ordering::Relaxed))
+    }
+
+    /// Returns the current `(lowest, highest)` watermarks and resets both to
+    /// the current value, starting a fresh observation window.  The time-
+    /// series sampler calls this once per window to turn lifetime watermarks
+    /// into per-window ones.
+    pub fn take_watermarks(&self) -> (i64, i64) {
+        let out = self.watermarks();
+        let v = self.get();
+        self.0.lo.store(v, Ordering::Relaxed);
+        self.0.hi.store(v, Ordering::Relaxed);
+        out
     }
 }
 
@@ -220,12 +270,61 @@ struct Registered {
     histograms: Vec<(String, Histogram)>,
 }
 
+/// Maximum number of distinct label sets a single base metric name may grow.
+/// Past the cap, further label sets collapse into one shared
+/// `base{overflow=true}` series so unbounded label values (e.g. grid cells in
+/// a huge world) cannot blow up registry memory or snapshot size.
+pub const MAX_LABEL_SETS: usize = 64;
+
+/// Builds the flattened registry name for a labeled metric:
+/// `base{k=v,k2=v2}`, labels sorted by key.  Label keys and values must not
+/// contain `{`, `}`, `,`, or `=` (the flattened name must parse back).
+pub fn labeled_name(base: &str, labels: &[(&str, &str)]) -> String {
+    debug_assert!(
+        labels.iter().all(|(k, v)| !"{},=".chars().any(|c| k.contains(c) || v.contains(c))),
+        "label keys/values must not contain any of {{ }} , ="
+    );
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::with_capacity(base.len() + 16);
+    out.push_str(base);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a flattened metric name back into its base and labels.  Unlabeled
+/// names return an empty label list.
+pub fn split_labels(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some(open) = name.find('{') else {
+        return (name, Vec::new());
+    };
+    let Some(body) = name[open + 1..].strip_suffix('}') else {
+        return (name, Vec::new());
+    };
+    let labels = body.split(',').filter_map(|kv| kv.split_once('=')).collect();
+    (&name[..open], labels)
+}
+
 /// A named registry of metrics.
 ///
 /// `counter("x")` returns the *same* underlying counter every time, so
 /// distant subsystems can contribute to one metric without sharing handles
 /// explicitly.  Registration takes a short uncontended lock and may allocate;
 /// the returned handles never do either.
+///
+/// Labeled variants (`counter_with("sim.cell.tx_frames", &[("cell", "3:0")])`)
+/// register under the flattened name `base{k=v,…}` with cardinality bounded
+/// by [`MAX_LABEL_SETS`] per base name — callers should cache the returned
+/// handle per label set, exactly as for unlabeled metrics.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     inner: Mutex<Registered>,
@@ -235,6 +334,68 @@ impl MetricsRegistry {
     /// Create an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Resolves the flattened name for `base` + `labels`, collapsing into
+    /// `base{overflow=true}` once the base has [`MAX_LABEL_SETS`] distinct
+    /// label sets.  `existing` must report whether a flattened name is
+    /// already registered, `count` how many labeled series the base owns.
+    fn labeled<F, G>(base: &str, labels: &[(&str, &str)], existing: F, count: G) -> String
+    where
+        F: Fn(&str) -> bool,
+        G: Fn(&str) -> usize,
+    {
+        let name = labeled_name(base, labels);
+        if existing(&name) || count(base) < MAX_LABEL_SETS {
+            name
+        } else {
+            labeled_name(base, &[("overflow", "true")])
+        }
+    }
+
+    /// Get or create the counter for `name` sliced by `labels`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let resolved = {
+            let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let prefix = format!("{name}{{");
+            Self::labeled(
+                name,
+                labels,
+                |n| reg.counters.iter().any(|(have, _)| have == n),
+                |_| reg.counters.iter().filter(|(have, _)| have.starts_with(&prefix)).count(),
+            )
+        };
+        self.counter(&resolved)
+    }
+
+    /// Get or create the gauge for `name` sliced by `labels`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let resolved = {
+            let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let prefix = format!("{name}{{");
+            Self::labeled(
+                name,
+                labels,
+                |n| reg.gauges.iter().any(|(have, _)| have == n),
+                |_| reg.gauges.iter().filter(|(have, _)| have.starts_with(&prefix)).count(),
+            )
+        };
+        self.gauge(&resolved)
+    }
+
+    /// Get or create the histogram for `name` sliced by `labels`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let resolved = {
+            let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let prefix = format!("{name}{{");
+            Self::labeled(
+                name,
+                labels,
+                |n| reg.histograms.iter().any(|(have, _)| have == n),
+                |_| reg.histograms.iter().filter(|(have, _)| have.starts_with(&prefix)).count(),
+            )
+        };
+        self.histogram(&resolved)
     }
 
     /// Get or create the counter named `name`.
@@ -275,8 +436,14 @@ impl MetricsRegistry {
         let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut counters: Vec<(String, u64)> =
             reg.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect();
-        let mut gauges: Vec<(String, i64)> =
-            reg.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect();
+        let mut gauges: Vec<(String, GaugeRead)> = reg
+            .gauges
+            .iter()
+            .map(|(n, g)| {
+                let (lo, hi) = g.watermarks();
+                (n.clone(), GaugeRead { value: g.get(), lo, hi })
+            })
+            .collect();
         let mut histograms: Vec<(String, HistogramSummary)> =
             reg.histograms.iter().map(|(n, h)| (n.clone(), h.summary())).collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
@@ -284,6 +451,28 @@ impl MetricsRegistry {
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsRead { counters, gauges, histograms }
     }
+
+    /// Shared handle for every registered gauge (name → handle), sorted by
+    /// name.  The sampler uses this to take per-window watermarks.
+    pub fn gauges(&self) -> Vec<(String, Gauge)> {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, Gauge)> =
+            reg.gauges.iter().map(|(n, g)| (n.clone(), g.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Point-in-time value and min/max watermarks of one [`Gauge`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeRead {
+    /// Current value.
+    pub value: i64,
+    /// Lowest value observed in the watermark window.
+    pub lo: i64,
+    /// Highest value observed in the watermark window (e.g. a queue's
+    /// high-water mark).
+    pub hi: i64,
 }
 
 /// Point-in-time values of every metric in a registry, sorted by name.
@@ -291,8 +480,8 @@ impl MetricsRegistry {
 pub struct MetricsRead {
     /// Counter values.
     pub counters: Vec<(String, u64)>,
-    /// Gauge values.
-    pub gauges: Vec<(String, i64)>,
+    /// Gauge values with watermarks.
+    pub gauges: Vec<(String, GaugeRead)>,
     /// Histogram summaries.
     pub histograms: Vec<(String, HistogramSummary)>,
 }
@@ -398,6 +587,91 @@ mod tests {
         let lone = Histogram::new();
         lone.record(u64::MAX);
         assert_eq!(lone.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_watermarks_track_excursions() {
+        let g = Gauge::new();
+        g.set(3);
+        g.add(4); // 7
+        g.add(-9); // -2
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.watermarks(), (-2, 7), "lowest/highest values ever observed");
+    }
+
+    #[test]
+    fn gauge_take_watermarks_starts_a_fresh_window() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(2);
+        assert_eq!(g.take_watermarks(), (0, 10), "initial window includes the starting zero");
+        // New window: watermarks reset to the current value.
+        assert_eq!(g.watermarks(), (2, 2));
+        g.set(5);
+        assert_eq!(g.take_watermarks(), (2, 5));
+    }
+
+    #[test]
+    fn gauge_watermarks_surface_in_registry_read() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("queue.receive.depth");
+        g.set(9);
+        g.set(1);
+        let read = reg.read();
+        assert_eq!(
+            read.gauges,
+            vec![("queue.receive.depth".to_string(), GaugeRead { value: 1, lo: 0, hi: 9 },)]
+        );
+    }
+
+    #[test]
+    fn labeled_names_flatten_sorted_and_parse_back() {
+        let name = labeled_name("tech.tx", &[("tech", "ble-beacon"), ("cell", "3:-2")]);
+        assert_eq!(name, "tech.tx{cell=3:-2,tech=ble-beacon}", "labels sort by key");
+        let (base, labels) = split_labels(&name);
+        assert_eq!(base, "tech.tx");
+        assert_eq!(labels, vec![("cell", "3:-2"), ("tech", "ble-beacon")]);
+        assert_eq!(split_labels("plain"), ("plain", vec![]));
+    }
+
+    #[test]
+    fn labeled_metrics_dedup_per_label_set() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("tx", &[("tech", "ble")]).inc();
+        reg.counter_with("tx", &[("tech", "ble")]).inc();
+        reg.counter_with("tx", &[("tech", "nfc")]).inc();
+        assert_eq!(reg.counter("tx{tech=ble}").get(), 2);
+        assert_eq!(reg.counter("tx{tech=nfc}").get(), 1);
+        reg.gauge_with("depth", &[("q", "rx")]).set(4);
+        assert_eq!(reg.gauge("depth{q=rx}").get(), 4);
+        reg.histogram_with("lat", &[("tech", "nfc")]).record(7);
+        assert_eq!(reg.histogram("lat{tech=nfc}").count(), 1);
+    }
+
+    #[test]
+    fn labeled_cardinality_is_bounded() {
+        let reg = MetricsRegistry::new();
+        for i in 0..(MAX_LABEL_SETS + 10) {
+            reg.counter_with("cells", &[("cell", &format!("{i}"))]).inc();
+        }
+        let read = reg.read();
+        let series: Vec<&str> = read
+            .counters
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| n.starts_with("cells{"))
+            .collect();
+        assert_eq!(series.len(), MAX_LABEL_SETS + 1, "cap plus one overflow series");
+        let (_, overflow) = read
+            .counters
+            .iter()
+            .find(|(n, _)| n == "cells{overflow=true}")
+            .expect("overflow series exists");
+        assert_eq!(*overflow, 10, "past the cap every new label set shares one series");
+        // Pre-existing label sets keep resolving to their own series.
+        reg.counter_with("cells", &[("cell", "0")]).inc();
+        assert_eq!(reg.counter("cells{cell=0}").get(), 2);
     }
 
     #[test]

@@ -204,6 +204,11 @@ impl FaultState {
     pub fn link_ok(&self, a: DeviceId, b: DeviceId, now: SimTime, medium: FaultScope) -> bool {
         !self.is_down(a) && !self.is_down(b) && !self.partitioned(a, b, now, medium)
     }
+
+    /// Number of devices currently inside a churn down-window.
+    pub fn down_count(&self) -> usize {
+        self.down.iter().filter(|&&d| d).count()
+    }
 }
 
 #[cfg(test)]

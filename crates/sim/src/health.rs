@@ -1,0 +1,262 @@
+//! Fleet health derivation from windowed telemetry.
+//!
+//! The [`HealthMonitor`] folds one [`WindowStats`] per sampling window into
+//! a three-level fleet [`HealthState`].  Every change of state produces a
+//! [`HealthEvent`] naming the *cause* that tripped it, which the runner
+//! records as [`omni_obs::EventKind::HealthTransition`] with the fleet-scope
+//! node id `u32::MAX` — so the `FlightRecorder` timeline can correlate
+//! degradation with the fault windows that caused it.
+//!
+//! Derivation is pure and deterministic: same window inputs, same verdict.
+//! Thresholds live in [`HealthConfig`]; the defaults are conservative
+//! enough that a fault-free fleet never leaves [`HealthState::Healthy`].
+
+/// Fleet-wide health, coarsest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// All windowed signals inside their thresholds.
+    Healthy,
+    /// At least one signal (delivery ratio, queue high-water, beacon
+    /// staleness, churn) outside its degraded threshold.
+    Degraded,
+    /// Delivery collapsing or a large fraction of the fleet down.
+    Critical,
+}
+
+impl HealthState {
+    /// Stable lowercase name used in events and JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Critical => "critical",
+        }
+    }
+}
+
+/// One sampling window's fleet-wide signals, as counter deltas and
+/// watermarks (not lifetime aggregates).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowStats {
+    /// Directed-send attempts that reached a terminal status this window.
+    pub attempted: u64,
+    /// Of those, how many were delivered.
+    pub delivered: u64,
+    /// Highest queue depth seen anywhere in the fleet this window.
+    pub queue_hi: i64,
+    /// Microseconds since the last beacon was sent anywhere (staleness).
+    pub beacon_stale_us: u64,
+    /// Devices inside a churn down-window at the end of the window.
+    pub nodes_down: usize,
+    /// Fleet size, for the critical churn fraction.
+    pub fleet: usize,
+}
+
+/// Thresholds separating the three [`HealthState`]s.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Below this windowed delivery ratio the fleet is degraded.
+    pub degraded_delivery_ratio: f64,
+    /// Below this windowed delivery ratio the fleet is critical.
+    pub critical_delivery_ratio: f64,
+    /// Windows with fewer terminal attempts than this carry no delivery
+    /// signal (a ratio over 2 sends is noise, not health).
+    pub min_attempts: u64,
+    /// Queue depth high-water beyond which the fleet is degraded.
+    pub degraded_queue_depth: i64,
+    /// Beacon staleness beyond which discovery is considered degraded.
+    pub degraded_beacon_stale_us: u64,
+    /// Any node down ⇒ degraded; at or above this *fraction* of the fleet
+    /// down ⇒ critical.
+    pub critical_down_fraction: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degraded_delivery_ratio: 0.90,
+            critical_delivery_ratio: 0.50,
+            min_attempts: 5,
+            degraded_queue_depth: 64,
+            degraded_beacon_stale_us: 5_000_000,
+            critical_down_fraction: 0.25,
+        }
+    }
+}
+
+/// A state change, with the signal that tripped it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// Sim time of the window that changed the verdict.
+    pub t_us: u64,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// Stable cause slug: `delivery-ratio`, `queue-depth`,
+    /// `beacon-staleness`, `node-down`, or `recovered`.
+    pub cause: &'static str,
+}
+
+/// Folds windowed stats into a fleet health state, emitting an event per
+/// transition.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    state: HealthState,
+}
+
+impl HealthMonitor {
+    /// A monitor starting healthy under `cfg`.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor { cfg, state: HealthState::Healthy }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Derives the verdict for one window and the cause that pinned it.
+    /// Worst signal wins; among equals the most actionable cause (delivery,
+    /// then churn, then queues, then staleness) is reported.
+    fn classify(&self, w: &WindowStats) -> (HealthState, &'static str) {
+        let ratio = if w.attempted >= self.cfg.min_attempts {
+            Some(w.delivered as f64 / w.attempted as f64)
+        } else {
+            None
+        };
+        let down_frac = if w.fleet == 0 { 0.0 } else { w.nodes_down as f64 / w.fleet as f64 };
+
+        if let Some(r) = ratio {
+            if r < self.cfg.critical_delivery_ratio {
+                return (HealthState::Critical, "delivery-ratio");
+            }
+        }
+        if w.nodes_down > 0 && down_frac >= self.cfg.critical_down_fraction {
+            return (HealthState::Critical, "node-down");
+        }
+        if let Some(r) = ratio {
+            if r < self.cfg.degraded_delivery_ratio {
+                return (HealthState::Degraded, "delivery-ratio");
+            }
+        }
+        if w.nodes_down > 0 {
+            return (HealthState::Degraded, "node-down");
+        }
+        if w.queue_hi > self.cfg.degraded_queue_depth {
+            return (HealthState::Degraded, "queue-depth");
+        }
+        if w.beacon_stale_us > self.cfg.degraded_beacon_stale_us {
+            return (HealthState::Degraded, "beacon-staleness");
+        }
+        (HealthState::Healthy, "recovered")
+    }
+
+    /// Feeds one window; returns the transition when the state changed.
+    pub fn observe(&mut self, t_us: u64, w: &WindowStats) -> Option<HealthEvent> {
+        let (next, cause) = self.classify(w);
+        if next == self.state {
+            return None;
+        }
+        let ev = HealthEvent {
+            t_us,
+            from: self.state,
+            to: next,
+            // An improvement is always reported as recovery, whatever
+            // residual signal classified the milder state.
+            cause: if next < self.state { "recovered" } else { cause },
+        };
+        self.state = next;
+        Some(ev)
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        HealthMonitor::new(HealthConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(fleet: usize) -> WindowStats {
+        WindowStats {
+            attempted: 0,
+            delivered: 0,
+            queue_hi: 0,
+            beacon_stale_us: 0,
+            nodes_down: 0,
+            fleet,
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_never_transitions() {
+        let mut m = HealthMonitor::default();
+        for t in 0..100u64 {
+            let w = WindowStats { attempted: 50, delivered: 50, ..quiet(100) };
+            assert_eq!(m.observe(t * 1000, &w), None);
+        }
+        assert_eq!(m.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn delivery_collapse_is_critical_then_recovers() {
+        let mut m = HealthMonitor::default();
+        let bad = WindowStats { attempted: 20, delivered: 4, ..quiet(100) };
+        let ev = m.observe(7, &bad).expect("transition");
+        assert_eq!(
+            (ev.from, ev.to, ev.cause),
+            (HealthState::Healthy, HealthState::Critical, "delivery-ratio")
+        );
+        // Same verdict again: no repeated event.
+        assert_eq!(m.observe(8, &bad), None);
+        let good = WindowStats { attempted: 20, delivered: 20, ..quiet(100) };
+        let ev = m.observe(9, &good).expect("recovery");
+        assert_eq!(
+            (ev.from, ev.to, ev.cause),
+            (HealthState::Critical, HealthState::Healthy, "recovered")
+        );
+    }
+
+    #[test]
+    fn marginal_delivery_is_degraded_not_critical() {
+        let mut m = HealthMonitor::default();
+        let w = WindowStats { attempted: 20, delivered: 16, ..quiet(100) };
+        let ev = m.observe(1, &w).expect("transition");
+        assert_eq!((ev.to, ev.cause), (HealthState::Degraded, "delivery-ratio"));
+    }
+
+    #[test]
+    fn too_few_attempts_carry_no_delivery_signal() {
+        let mut m = HealthMonitor::default();
+        let w = WindowStats { attempted: 2, delivered: 0, ..quiet(100) };
+        assert_eq!(m.observe(1, &w), None, "2 failed sends are noise, not an outage");
+    }
+
+    #[test]
+    fn churn_scales_from_degraded_to_critical() {
+        let mut m = HealthMonitor::default();
+        let one_down = WindowStats { nodes_down: 1, ..quiet(100) };
+        let ev = m.observe(1, &one_down).expect("transition");
+        assert_eq!((ev.to, ev.cause), (HealthState::Degraded, "node-down"));
+        let many_down = WindowStats { nodes_down: 30, ..quiet(100) };
+        let ev = m.observe(2, &many_down).expect("transition");
+        assert_eq!((ev.to, ev.cause), (HealthState::Critical, "node-down"));
+    }
+
+    #[test]
+    fn queue_and_staleness_degrade() {
+        let mut m = HealthMonitor::default();
+        let w = WindowStats { queue_hi: 100, ..quiet(10) };
+        assert_eq!(m.observe(1, &w).unwrap().cause, "queue-depth");
+        let w = WindowStats { beacon_stale_us: 10_000_000, ..quiet(10) };
+        assert_eq!(m.observe(2, &w), None, "still degraded, no transition");
+        assert_eq!(m.state(), HealthState::Degraded);
+        let ev = m.observe(3, &quiet(10)).unwrap();
+        assert_eq!((ev.to, ev.cause), (HealthState::Healthy, "recovered"));
+    }
+}

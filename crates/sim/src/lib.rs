@@ -64,10 +64,12 @@
 mod config;
 mod energy;
 mod faults;
+mod health;
 mod medium;
 mod node;
 mod recorder;
 mod runner;
+mod telemetry;
 mod time;
 mod trace;
 mod world;
@@ -75,9 +77,11 @@ mod world;
 pub use config::{BleParams, EnergyParams, NfcParams, SimConfig, WifiParams};
 pub use energy::{EnergyLedger, EnergyState};
 pub use faults::{ChurnWindow, FaultConfig, FaultScope, LinkPartition};
+pub use health::{HealthConfig, HealthEvent, HealthMonitor, HealthState, WindowStats};
 pub use node::{Command, ConnId, DeviceId, NodeApi, NodeEvent, Stack, TcpError};
 pub use recorder::{FlightRecorder, TraceOutcome, TraceTimeline};
 pub use runner::{DeviceCaps, Runner};
+pub use telemetry::{Sampler, SamplerConfig};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};
 pub use world::{Position, World, DEFAULT_CELL_M};

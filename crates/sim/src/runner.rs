@@ -9,7 +9,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use bytes::Bytes;
-use omni_obs::{Counter, EventKind, Histogram, Obs};
+use omni_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use omni_wire::{BleAddress, MeshAddress, NfcAddress, TechType};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -19,6 +19,7 @@ use crate::energy::{EnergyLedger, EnergyState};
 use crate::faults::{FaultScope, FaultState};
 use crate::medium::{Flow, McastJob, WifiMedium};
 use crate::node::{Command, ConnId, DeviceId, NodeApi, NodeEvent, Stack, TcpError};
+use crate::telemetry::{Sampler, SamplerConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 use crate::world::{Position, World};
@@ -211,6 +212,9 @@ enum Engine {
     ChurnUp {
         dev: DeviceId,
     },
+    /// A periodic telemetry sampling tick (only scheduled when
+    /// [`Runner::enable_sampler`] was called).
+    Sample,
 }
 
 /// Cached tx/rx meters for one technology; handles are atomic, so the
@@ -252,6 +256,40 @@ struct RunnerObs {
     nfc: TechMeters,
     beacon_interval_us: Histogram,
     fault_drops: Counter,
+    /// Fault drops sliced by cause (`sim.faults.drops{cause=…}`).
+    drops_frame_loss: Counter,
+    drops_partition: Counter,
+    drops_node_down: Counter,
+    /// Per-cell frame transmission counters
+    /// (`sim.cell.tx_frames{cell=x:y}`), cached per grid cell.
+    cell_tx: HashMap<(i64, i64), Counter>,
+    /// Per-cell device density gauges (`sim.cell.density{cell=x:y}`),
+    /// refreshed on every sampling tick.
+    cell_density: HashMap<(i64, i64), Gauge>,
+}
+
+impl RunnerObs {
+    fn cell_tx_counter(&mut self, cell: (i64, i64)) -> &Counter {
+        let obs = &self.obs;
+        self.cell_tx.entry(cell).or_insert_with(|| {
+            obs.counter_with("sim.cell.tx_frames", &[("cell", &format!("{}:{}", cell.0, cell.1))])
+        })
+    }
+
+    fn cell_density_gauge(&mut self, cell: (i64, i64)) -> &Gauge {
+        let obs = &self.obs;
+        self.cell_density.entry(cell).or_insert_with(|| {
+            obs.gauge_with("sim.cell.density", &[("cell", &format!("{}:{}", cell.0, cell.1))])
+        })
+    }
+
+    fn drops_by_cause(&self, cause: &str) -> &Counter {
+        match cause {
+            "partition" => &self.drops_partition,
+            "node-down" => &self.drops_node_down,
+            _ => &self.drops_frame_loss,
+        }
+    }
 }
 
 struct Scheduled {
@@ -302,6 +340,7 @@ pub struct Runner {
     adv_buf: Vec<(DeviceId, f64)>,
     obs: Option<RunnerObs>,
     faults: FaultState,
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -343,6 +382,7 @@ impl Runner {
             adv_buf: Vec::new(),
             obs: None,
             faults,
+            sampler: None,
         };
         // Materialize configured fault windows as engine events. A default
         // (empty) FaultConfig schedules nothing, keeping the event sequence
@@ -382,8 +422,43 @@ impl Runner {
             nfc: TechMeters::new(&obs, "nfc"),
             beacon_interval_us: obs.histogram("beacon.interval_us"),
             fault_drops: obs.counter("sim.faults.frames_dropped"),
+            drops_frame_loss: obs.counter_with("sim.faults.drops", &[("cause", "frame-loss")]),
+            drops_partition: obs.counter_with("sim.faults.drops", &[("cause", "partition")]),
+            drops_node_down: obs.counter_with("sim.faults.drops", &[("cause", "node-down")]),
+            cell_tx: HashMap::new(),
+            cell_density: HashMap::new(),
             obs,
         });
+    }
+
+    /// Enables periodic telemetry sampling (off by default): every
+    /// [`SamplerConfig::every`] of sim time, the attached [`Obs`] registry is
+    /// folded into per-metric time series, a JSONL stream, and the fleet
+    /// health monitor (see [`Sampler`]).  Health transitions are recorded as
+    /// [`EventKind::HealthTransition`] events under the fleet-scope node id
+    /// `u32::MAX`.
+    ///
+    /// Sampling draws no randomness and only appends `(time, seq)`-ordered
+    /// events, so enabling it does not perturb fleet behavior: a sampler-on
+    /// run is event-for-event identical to a sampler-off run of the same
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no [`Obs`] handle is attached ([`Runner::set_obs`]), when
+    /// the interval is zero, or when a sampler is already enabled.
+    pub fn enable_sampler(&mut self, cfg: SamplerConfig) {
+        assert!(self.obs.is_some(), "attach an Obs handle (set_obs) before enabling the sampler");
+        assert!(!cfg.every.is_zero(), "sampling interval must be positive");
+        assert!(self.sampler.is_none(), "sampler already enabled");
+        let every = cfg.every;
+        self.sampler = Some(Sampler::new(cfg));
+        self.schedule(every, Engine::Sample);
+    }
+
+    /// The telemetry sampler, when [`Runner::enable_sampler`] was called.
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
     }
 
     /// The attached observability handle, if any.
@@ -952,6 +1027,7 @@ impl Runner {
         payload: &[u8],
     ) {
         let Some(o) = &self.obs else { return };
+        o.drops_by_cause(cause).inc();
         let Some(trace) = omni_wire::frame::directed_trace(payload) else { return };
         o.obs.event(
             self.now.as_micros(),
@@ -986,8 +1062,10 @@ impl Runner {
             return;
         }
         self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.oneshot_pulse);
-        if let Some(o) = &self.obs {
+        let cell = self.world.cell_index(dev);
+        if let Some(o) = self.obs.as_mut() {
             o.ble.tx(payload.len());
+            o.cell_tx_counter(cell).inc();
         }
         let latency = self.cfg.ble.oneshot_latency;
         let mut recipients = std::mem::take(&mut self.nbr_buf);
@@ -1116,6 +1194,7 @@ impl Runner {
                 if self.faults.lose(self.cfg.faults.tcp_connect_loss) {
                     if let Some(o) = &self.obs {
                         o.fault_drops.inc();
+                        o.drops_frame_loss.inc();
                     }
                     self.trace.record(self.now, dev, "tcp connect lost: fault injection");
                     self.schedule(
@@ -1181,8 +1260,10 @@ impl Runner {
             self.trace.record(self.now, dev, "nfc send muted: node down");
             return;
         }
-        if let Some(o) = &self.obs {
+        let cell = self.world.cell_index(dev);
+        if let Some(o) = self.obs.as_mut() {
             o.nfc.tx(payload.len());
+            o.cell_tx_counter(cell).inc();
         }
         let mut recipients = std::mem::take(&mut self.nbr_buf);
         self.world.neighbors_into(dev, self.cfg.range_m(TechType::Nfc), &mut recipients);
@@ -1386,7 +1467,45 @@ impl Runner {
             Engine::PartitionStart { idx } => self.partition_start(idx),
             Engine::ChurnDown { dev } => self.churn_down(dev),
             Engine::ChurnUp { dev } => self.churn_up(dev),
+            Engine::Sample => self.sample_tick(),
         }
+    }
+
+    /// One telemetry sampling tick: refresh the per-cell density gauges from
+    /// the spatial grid, fold the registry into the sampler, surface any
+    /// health transition as a fleet-scope event, and reschedule.
+    fn sample_tick(&mut self) {
+        let Some(mut sampler) = self.sampler.take() else { return };
+        let occupancy = self.world.cell_occupancy();
+        let nodes_down = self.faults.down_count();
+        let fleet = self.devices.len();
+        let t_us = self.now.as_micros();
+        if let Some(o) = self.obs.as_mut() {
+            for &(cell, n) in &occupancy {
+                o.cell_density_gauge(cell).set(n as i64);
+            }
+            // Cells seen before but empty now drop to zero, so density
+            // series decay instead of freezing at their last value.
+            for (cell, g) in &o.cell_density {
+                if occupancy.binary_search_by_key(cell, |&(c, _)| c).is_err() {
+                    g.set(0);
+                }
+            }
+            if let Some(ev) = sampler.sample(&o.obs, t_us, nodes_down, fleet) {
+                o.obs.event(
+                    t_us,
+                    u32::MAX,
+                    EventKind::HealthTransition {
+                        from: ev.from.name(),
+                        to: ev.to.name(),
+                        cause: ev.cause,
+                    },
+                );
+            }
+        }
+        let every = sampler.interval();
+        self.sampler = Some(sampler);
+        self.schedule(every, Engine::Sample);
     }
 
     /// Opens a configured partition window: tears down open TCP connections
@@ -1487,8 +1606,10 @@ impl Runner {
             return;
         }
         self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.adv_pulse);
-        if let Some(o) = &self.obs {
+        let cell = self.world.cell_index(dev);
+        if let Some(o) = self.obs.as_mut() {
             o.ble.tx(payload_len);
+            o.cell_tx_counter(cell).inc();
             o.beacon_interval_us.record(interval.as_micros());
             o.obs.event(
                 self.now.as_micros(),
@@ -1527,11 +1648,15 @@ impl Runner {
                 // scan window overlaps the advertising event.
                 if duty >= 1.0 || self.rng.gen_bool(duty) {
                     if !self.faults.link_ok(dev, to, self.now, FaultScope::Ble) {
+                        if let Some(o) = &self.obs {
+                            o.drops_by_cause(self.link_drop_cause(dev, to)).inc();
+                        }
                         continue;
                     }
                     if self.faults.lose(loss) {
                         if let Some(o) = &self.obs {
                             o.fault_drops.inc();
+                            o.drops_frame_loss.inc();
                         }
                         continue;
                     }
@@ -1555,8 +1680,10 @@ impl Runner {
             return;
         };
         self.energy.leave(job.sender, self.now, EnergyState::McastTx);
-        if let Some(o) = &self.obs {
+        let cell = self.world.cell_index(job.sender);
+        if let Some(o) = self.obs.as_mut() {
             o.mcast.tx(job.payload.len());
+            o.cell_tx_counter(cell).inc();
         }
         if let Some(next_job) = next {
             self.start_mcast(next_job);

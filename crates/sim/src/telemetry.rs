@@ -1,0 +1,403 @@
+//! Sim-clock telemetry sampling: periodic snapshots of the metrics registry
+//! folded into per-metric [`SeriesRing`] time series, a JSONL stream, and the
+//! fleet [`HealthMonitor`].
+//!
+//! The [`Sampler`] is driven by the runner's event loop (an `Engine::Sample`
+//! event every [`SamplerConfig::every`]), so sampling is deterministic: the
+//! same seed and config produce byte-identical JSONL.  It is **off by
+//! default** — a runner without [`crate::Runner::enable_sampler`] schedules
+//! no sampling events and its behavior is untouched.
+//!
+//! Each tick the sampler:
+//!
+//! * turns every **counter** into a windowed delta (so
+//!   [`omni_obs::Sample::rate_per_sec`] is the windowed rate),
+//! * reads every **gauge**'s value and takes its per-window min/max
+//!   watermarks ([`omni_obs::Gauge::take_watermarks`]),
+//! * turns every **histogram** into a windowed `(count, sum)` digest —
+//!   except wall-clock instruments (`*.wait_us`), which are excluded the
+//!   same way the `FlightRecorder` drops wall-clock events, keeping the
+//!   stream sim-deterministic,
+//! * derives fleet [`WindowStats`] (delivery ratio, queue high-water,
+//!   beacon staleness, churn) and feeds the [`HealthMonitor`].
+//!
+//! Synthetic series `sim.nodes_down` and `sim.health` record churn and the
+//! health verdict per window, so fault windows can be reconstructed from the
+//! series alone with [`SeriesRing::spans_where`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use omni_obs::{split_labels, Obs, Sample, SeriesRing};
+
+use crate::health::{HealthConfig, HealthEvent, HealthMonitor, HealthState, WindowStats};
+use crate::time::SimDuration;
+
+/// Knobs for the periodic sampler.
+#[derive(Clone, Debug)]
+pub struct SamplerConfig {
+    /// Sampling interval in sim time.
+    pub every: SimDuration,
+    /// Capacity of each per-metric [`SeriesRing`] (downsamples when full).
+    pub series_capacity: usize,
+    /// Thresholds for the fleet [`HealthMonitor`].
+    pub health: HealthConfig,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            every: SimDuration::from_secs(1),
+            series_capacity: 256,
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+/// Whether a metric is a wall-clock instrument that must not leak into the
+/// sim-deterministic stream (queue wait spans use `std::time::Instant`).
+fn wall_clock(name: &str) -> bool {
+    split_labels(name).0.ends_with(".wait_us")
+}
+
+/// Minimal JSON string escaping for metric names (which may carry label
+/// braces but never quotes or control characters in practice).
+fn escape(s: &str) -> String {
+    if s.contains('"') || s.contains('\\') {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    } else {
+        s.to_string()
+    }
+}
+
+/// Periodic sampler: metrics registry → time series + JSONL + health.
+///
+/// Owned by the runner; one [`Sampler::sample`] call per `Engine::Sample`
+/// event.  All state is derived from sim-deterministic inputs.
+#[derive(Debug)]
+pub struct Sampler {
+    cfg: SamplerConfig,
+    series: BTreeMap<String, SeriesRing>,
+    prev_counters: HashMap<String, u64>,
+    /// Previous `(count, sum)` per histogram, for windowed digests.
+    prev_hists: HashMap<String, (u64, u64)>,
+    last_t_us: u64,
+    /// End of the last window in which any beacon was transmitted.
+    last_beacon_us: Option<u64>,
+    seq: u64,
+    jsonl: String,
+    health: HealthMonitor,
+}
+
+impl Sampler {
+    /// A sampler with the given config, starting healthy.
+    pub fn new(cfg: SamplerConfig) -> Self {
+        let health = HealthMonitor::new(cfg.health);
+        Sampler {
+            cfg,
+            series: BTreeMap::new(),
+            prev_counters: HashMap::new(),
+            prev_hists: HashMap::new(),
+            last_t_us: 0,
+            last_beacon_us: None,
+            seq: 0,
+            jsonl: String::new(),
+            health,
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.cfg.every
+    }
+
+    /// Current fleet health verdict.
+    pub fn health(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// Number of samples taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.seq
+    }
+
+    /// The time series recorded for `name` (flattened `base{k=v}` form for
+    /// labeled metrics), if any sample has seen it.
+    pub fn series(&self, name: &str) -> Option<&SeriesRing> {
+        self.series.get(name)
+    }
+
+    /// Every recorded series name, sorted.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// The JSONL stream accumulated so far (one object per sample window).
+    pub fn to_jsonl(&self) -> &str {
+        &self.jsonl
+    }
+
+    /// Writes the JSONL stream to a file.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.jsonl.as_bytes())
+    }
+
+    fn push(&mut self, name: &str, s: Sample) {
+        let cap = self.cfg.series_capacity;
+        self.series.entry(name.to_string()).or_insert_with(|| SeriesRing::new(cap)).push(s);
+    }
+
+    /// Takes one sample at sim time `t_us`: folds the registry into the
+    /// series and the JSONL stream, feeds the health monitor, and returns
+    /// the health transition when the verdict changed.
+    pub fn sample(
+        &mut self,
+        obs: &Obs,
+        t_us: u64,
+        nodes_down: usize,
+        fleet: usize,
+    ) -> Option<HealthEvent> {
+        let window_us = t_us.saturating_sub(self.last_t_us);
+        let read = obs.metrics().read();
+
+        // Counters → windowed deltas.
+        let mut counter_lines = String::new();
+        let mut delivered = 0u64;
+        let mut failed = 0u64;
+        let mut beacons_tx = 0u64;
+        for (name, v) in &read.counters {
+            let prev = self.prev_counters.insert(name.clone(), *v).unwrap_or(0);
+            let delta = v.saturating_sub(prev);
+            self.push(name, Sample::point(t_us, window_us, delta as f64));
+            let (base, _) = split_labels(name);
+            match base {
+                "mgr.data_delivered" if !name.contains('{') => delivered = delta,
+                "mgr.data_failed" => failed = delta,
+                "tech.ble-beacon.tx_frames" if delta > 0 => beacons_tx = delta,
+                _ => {}
+            }
+            if !counter_lines.is_empty() {
+                counter_lines.push(',');
+            }
+            counter_lines.push_str(&format!("\"{}\":{}", escape(name), delta));
+        }
+        if beacons_tx > 0 {
+            self.last_beacon_us = Some(t_us);
+        }
+
+        // Gauges → closing value plus per-window watermarks (taking the
+        // watermarks resets them, starting the next window).
+        let mut gauge_lines = String::new();
+        let mut queue_hi = 0i64;
+        for (name, g) in obs.metrics().gauges() {
+            let (lo, hi) = g.take_watermarks();
+            let value = g.get();
+            self.push(
+                &name,
+                Sample {
+                    t_us,
+                    window_us,
+                    count: 1,
+                    sum: value as f64,
+                    min: lo as f64,
+                    max: hi as f64,
+                },
+            );
+            let (base, _) = split_labels(&name);
+            if base.starts_with("queue.") && base.ends_with(".depth") {
+                queue_hi = queue_hi.max(hi);
+            }
+            if !gauge_lines.is_empty() {
+                gauge_lines.push(',');
+            }
+            gauge_lines.push_str(&format!(
+                "\"{}\":{{\"value\":{},\"lo\":{},\"hi\":{}}}",
+                escape(&name),
+                value,
+                lo,
+                hi
+            ));
+        }
+
+        // Histograms → windowed (count, sum) digests; wall-clock instruments
+        // are excluded to keep the stream sim-deterministic.
+        let mut hist_lines = String::new();
+        for (name, s) in &read.histograms {
+            if wall_clock(name) {
+                continue;
+            }
+            let (pc, ps) = self.prev_hists.insert(name.clone(), (s.count, s.sum)).unwrap_or((0, 0));
+            let dcount = s.count.saturating_sub(pc);
+            let dsum = s.sum.wrapping_sub(ps);
+            self.push(
+                name,
+                Sample {
+                    t_us,
+                    window_us,
+                    count: dcount,
+                    sum: dsum as f64,
+                    // Lifetime extrema: per-window extrema would need
+                    // resettable histograms, and the watermark story already
+                    // lives on gauges.
+                    min: s.min as f64,
+                    max: s.max as f64,
+                },
+            );
+            if !hist_lines.is_empty() {
+                hist_lines.push(',');
+            }
+            hist_lines.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{}}}",
+                escape(name),
+                dcount,
+                dsum
+            ));
+        }
+
+        // Fleet window → health verdict.
+        let beacon_stale_us = match self.last_beacon_us {
+            Some(t) => t_us.saturating_sub(t),
+            // No beacon ever: a fleet that never advertises (or has no BLE)
+            // carries no staleness signal.
+            None => 0,
+        };
+        let stats = WindowStats {
+            attempted: delivered + failed,
+            delivered,
+            queue_hi,
+            beacon_stale_us,
+            nodes_down,
+            fleet,
+        };
+        let transition = self.health.observe(t_us, &stats);
+        let state = self.health.state();
+
+        // Synthetic series: churn and health verdict per window, so fault
+        // windows reconstruct from the series alone.
+        self.push("sim.nodes_down", Sample::point(t_us, window_us, nodes_down as f64));
+        self.push(
+            "sim.health",
+            Sample::point(
+                t_us,
+                window_us,
+                match state {
+                    HealthState::Healthy => 0.0,
+                    HealthState::Degraded => 1.0,
+                    HealthState::Critical => 2.0,
+                },
+            ),
+        );
+
+        self.jsonl.push_str(&format!(
+            "{{\"seq\":{},\"t_us\":{},\"window_us\":{},\"health\":\"{}\",\"nodes_down\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"hist\":{{{}}}}}\n",
+            self.seq,
+            t_us,
+            window_us,
+            state.name(),
+            nodes_down,
+            counter_lines,
+            gauge_lines,
+            hist_lines
+        ));
+        self.seq += 1;
+        self.last_t_us = t_us;
+        transition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler() -> Sampler {
+        Sampler::new(SamplerConfig::default())
+    }
+
+    #[test]
+    fn counters_become_windowed_deltas() {
+        let obs = Obs::new();
+        let c = obs.counter("x");
+        let mut s = sampler();
+        c.add(5);
+        s.sample(&obs, 1_000_000, 0, 10);
+        c.add(2);
+        s.sample(&obs, 2_000_000, 0, 10);
+        let ring = s.series("x").expect("series");
+        let v: Vec<f64> = ring.samples().iter().map(|p| p.sum).collect();
+        assert_eq!(v, vec![5.0, 2.0]);
+        assert_eq!(ring.total(), 7.0, "series total matches the counter");
+        assert_eq!(ring.samples()[1].rate_per_sec(), 2.0);
+    }
+
+    #[test]
+    fn gauge_watermarks_are_per_window() {
+        let obs = Obs::new();
+        let g = obs.gauge("queue.receive.depth");
+        let mut s = sampler();
+        g.set(9);
+        g.set(1);
+        s.sample(&obs, 1_000_000, 0, 10);
+        // New window: the old high-water mark must not leak in.
+        g.set(2);
+        s.sample(&obs, 2_000_000, 0, 10);
+        let ring = s.series("queue.receive.depth").unwrap();
+        assert_eq!(ring.samples()[0].max, 9.0);
+        assert_eq!(ring.samples()[1].max, 2.0, "watermark reset between windows");
+    }
+
+    #[test]
+    fn wall_clock_histograms_are_excluded() {
+        let obs = Obs::new();
+        obs.histogram("queue.receive.wait_us").record(123);
+        obs.histogram("mgr.send_latency_us").record(50);
+        let mut s = sampler();
+        s.sample(&obs, 1_000_000, 0, 10);
+        assert!(s.series("queue.receive.wait_us").is_none(), "wall clock excluded");
+        assert!(s.series("mgr.send_latency_us").is_some());
+        assert!(!s.to_jsonl().contains("wait_us"));
+    }
+
+    #[test]
+    fn health_transitions_surface_from_counter_deltas() {
+        let obs = Obs::new();
+        let delivered = obs.counter("mgr.data_delivered");
+        let failed = obs.counter("mgr.data_failed");
+        let mut s = sampler();
+        delivered.add(20);
+        assert!(s.sample(&obs, 1_000_000, 0, 10).is_none(), "healthy window");
+        failed.add(30);
+        let ev = s.sample(&obs, 2_000_000, 0, 10).expect("collapse");
+        assert_eq!((ev.to, ev.cause), (HealthState::Critical, "delivery-ratio"));
+        assert_eq!(s.health(), HealthState::Critical);
+        // The verdict is also a series: spans_where reconstructs the window.
+        let spans = s.series("sim.health").unwrap().spans_where(|p| p.sum >= 2.0);
+        assert_eq!(spans, vec![(1_000_000, 2_000_000)]);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_window() {
+        let obs = Obs::new();
+        obs.counter("x").inc();
+        let mut s = sampler();
+        s.sample(&obs, 1_000_000, 1, 4);
+        s.sample(&obs, 2_000_000, 0, 4);
+        let lines: Vec<&str> = s.to_jsonl().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,\"t_us\":1000000,"));
+        assert!(lines[0].contains("\"nodes_down\":1"));
+        assert!(lines[0].contains("\"counters\":{\"x\":1}"));
+        assert!(lines[1].contains("\"counters\":{\"x\":0}"));
+        assert_eq!(s.samples_taken(), 2);
+    }
+
+    #[test]
+    fn beacon_staleness_degrades_discovery() {
+        let obs = Obs::new();
+        let tx = obs.counter("tech.ble-beacon.tx_frames");
+        let mut s = sampler();
+        tx.inc();
+        assert!(s.sample(&obs, 1_000_000, 0, 10).is_none());
+        // Six silent seconds: past the 5s default staleness threshold.
+        let ev = s.sample(&obs, 7_000_000, 0, 10).expect("stale");
+        assert_eq!(ev.cause, "beacon-staleness");
+    }
+}

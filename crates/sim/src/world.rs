@@ -187,6 +187,22 @@ impl World {
         self.positions[a.0].distance(self.positions[b.0])
     }
 
+    /// The grid cell a device currently occupies, as `(cx, cy)` indices of
+    /// [`World::cell_size_m`]-sized squares.  Stable for the lifetime of a
+    /// position: telemetry uses it to label per-cell traffic and density.
+    pub fn cell_index(&self, id: DeviceId) -> (i64, i64) {
+        self.cell_of(self.positions[id.0])
+    }
+
+    /// Occupancy per non-empty grid cell, sorted by cell index so iteration
+    /// order (and everything derived from it) is deterministic.
+    pub fn cell_occupancy(&self) -> Vec<((i64, i64), usize)> {
+        let mut cells: Vec<((i64, i64), usize)> =
+            self.grid.iter().map(|(&cell, bucket)| (cell, bucket.len())).collect();
+        cells.sort_unstable_by_key(|&(cell, _)| cell);
+        cells
+    }
+
     /// Whether two distinct devices are within `range_m` of each other.
     /// A device is never in range of itself.
     pub fn in_range(&self, a: DeviceId, b: DeviceId, range_m: f64) -> bool {

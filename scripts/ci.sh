@@ -27,4 +27,10 @@ cargo run --release -p omni-bench --bin scale -- --smoke
 echo "== trace smoke (flight-recorder completeness + determinism) =="
 cargo run --release -p omni-bench --bin trace -- --smoke
 
+echo "== telemetry smoke (fault-window reconstruction from series) =="
+cargo run --release -p omni-bench --bin telemetry -- --smoke
+
+echo "== bench baseline gate (drift vs committed BENCH_*.json) =="
+scripts/bench_baseline.sh --smoke
+
 echo "ci: all green"

@@ -1,0 +1,103 @@
+//! Offline stub of `criterion`: a single-pass bench harness.  Each
+//! `bench_function` body runs a small fixed number of iterations and a
+//! wall-clock mean is printed — enough to smoke-compile and exercise the
+//! bench targets without registry access or statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (kept tiny so `cargo test`
+/// finishes quickly when it runs bench binaries).
+const ITERS: u32 = 10;
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint, accepted and ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// The bench context handed to registered bench functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` once with a [`Bencher`] and prints the mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total_ns: 0, iters: 0 };
+        f(&mut b);
+        let mean = if b.iters == 0 { 0 } else { b.total_ns / u128::from(b.iters) };
+        println!("bench {name:<40} {mean:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Times closures registered by a bench body.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..ITERS {
+            let t = Instant::now();
+            black_box(routine());
+            self.total_ns += t.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` with fresh untimed `setup` output per iteration.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Registers bench functions under a group name, mirroring criterion's
+/// macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

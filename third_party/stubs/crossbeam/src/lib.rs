@@ -1,0 +1,5 @@
+//! Offline stub of `crossbeam`.  The workspace declares the dependency
+//! but does not currently use any of its API; this placeholder satisfies
+//! the manifest without pulling anything from a registry.
+
+#![forbid(unsafe_code)]

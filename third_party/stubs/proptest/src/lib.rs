@@ -1,0 +1,555 @@
+//! Offline stub of `proptest`: a miniature property-testing framework
+//! covering the surface this workspace uses — the `proptest!` macro with
+//! `#![proptest_config]`, range/tuple/`any`/`Just`/`prop_oneof!`/
+//! `collection::vec` strategies, `prop_map`, `sample::Index`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Cases are generated deterministically (the seed is derived from the
+//! test's module path and name, so every run replays the same inputs).
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! its case number and message only.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case generation and failure plumbing.
+
+    /// Per-test configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property failed — aborts the test with this message.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` — skipped, not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (skipped) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic splitmix64 stream seeding each generated case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The RNG for case number `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A float uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A strategy producing one cloned constant.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for use in a heterogeneous [`Union`].
+    pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// A uniform choice between boxed variants — `prop_oneof!`'s backing.
+    pub struct Union<V> {
+        variants: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `variants` (must be non-empty).
+        pub fn new(variants: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+            Union { variants }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = (rng.next_u64() as usize) % self.variants.len();
+            self.variants[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + draw) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let draw = ((rng.next_u64() as u128) % span) as i128;
+                    (lo as i128 + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies per type, reached through [`any`](crate::any).
+
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [T::default(); N];
+            for slot in &mut out {
+                *slot = T::arbitrary(rng);
+            }
+            out
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod sample {
+    //! Index sampling, mirroring `proptest::sample`.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// A position into a collection of as-yet-unknown length.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Projects this index into `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `element`-generated values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest};
+
+    /// Alias module so `prop::sample::Index` etc. resolve.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), l, r
+            ),
+        }
+    };
+}
+
+/// Fails the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ),
+        }
+    };
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($variant:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_strategy($variant)),+])
+    };
+}
+
+/// Declares property tests: each `fn` runs `config.cases` deterministic
+/// random cases of its argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = ($strat).generate(&mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!("property {} failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 10u64..20,
+            b in -5i32..=5,
+            f in 0.25f64..0.75,
+            v in crate::collection::vec(any::<u8>(), 2..6),
+        ) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![Just(1u8), Just(2u8), (10u8..20).prop_map(|n| n)],
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u8..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy as _;
+        let s = crate::collection::vec(any::<u64>(), 1..8);
+        let mut r1 = crate::test_runner::TestRng::for_case("t", 5);
+        let mut r2 = crate::test_runner::TestRng::for_case("t", 5);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

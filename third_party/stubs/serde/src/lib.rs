@@ -1,0 +1,8 @@
+//! Offline stub of `serde`: re-exports the no-op derive macros.  The
+//! workspace derives `Serialize`/`Deserialize` on config types for API
+//! compatibility but serializes exclusively through hand-rolled JSON, so
+//! no trait machinery is needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline stub of `serde_derive`: the workspace only ever *derives*
+//! `Serialize`/`Deserialize` (nothing in-tree serializes through serde —
+//! all JSON is hand-rolled), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
