@@ -186,18 +186,33 @@ impl Baseline {
                 bad.push(format!("{}/{name}: gated metric missing from fresh run", self.bench));
                 continue;
             };
-            // The band is relative to the committed value, with an absolute
-            // floor of 1e-9 so a zero baseline still tolerates exact zero.
-            let band = (want.value.abs() * want.tol_pct / 100.0).max(1e-9);
+            // The band is relative to the committed value — except when
+            // that value is zero, where a relative band degenerates (any
+            // percentage of 0 is 0, and percent drift *from* 0 is NaN/∞).
+            // A zero baseline instead reads `tol_pct` as an absolute
+            // tolerance on the delta, so "zero drops ± 2" is expressible.
+            // The 1e-9 floor keeps exact-zero tolerances honest for f64.
+            let band = if want.value == 0.0 {
+                (want.tol_pct / 100.0).max(1e-9)
+            } else {
+                (want.value.abs() * want.tol_pct / 100.0).max(1e-9)
+            };
             let drift = (got.value - want.value).abs();
-            if drift > band {
+            // Negated comparison so a NaN fresh value (drift = NaN) fails
+            // the gate loudly instead of slipping through `drift > band`
+            // (`drift >= band` would misbehave the same way, hence the
+            // lint allow).
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(drift <= band) {
+                let kind = if want.value == 0.0 { "zero baseline, absolute" } else { "relative" };
                 bad.push(format!(
-                    "{}/{name}: {} drifted outside ±{}% of {} (|Δ| = {})",
+                    "{}/{name}: {} drifted outside ±{}% of {} (|Δ| = {}, {kind} band = {})",
                     self.bench,
                     fmt_f64(got.value),
                     fmt_f64(want.tol_pct),
                     fmt_f64(want.value),
-                    fmt_f64(drift)
+                    fmt_f64(drift),
+                    fmt_f64(band)
                 ));
             }
         }
@@ -383,6 +398,45 @@ mod tests {
         let bad = fresh.compare_against(&sample());
         assert_eq!(bad.len(), 1);
         assert!(bad[0].contains("mode mismatch"), "{bad:?}");
+    }
+
+    #[test]
+    fn zero_baseline_uses_an_absolute_band() {
+        // "Zero drops, tolerate |Δ| ≤ 2" — a relative band would collapse
+        // to the 1e-9 floor and reject every nonzero fresh value.
+        let mut committed = Baseline::new("scale", true);
+        committed.gate("drops", 0.0, 200.0); // 200% of… nothing: |Δ| ≤ 2 absolute
+
+        let mut fresh = Baseline::new("scale", true);
+        fresh.gate("drops", 2.0, 200.0);
+        assert!(fresh.compare_against(&committed).is_empty(), "inside the absolute band");
+
+        let mut fresh = Baseline::new("scale", true);
+        fresh.gate("drops", 2.5, 200.0);
+        let bad = fresh.compare_against(&committed);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("zero baseline"), "{bad:?}");
+    }
+
+    #[test]
+    fn zero_baseline_with_zero_tolerance_still_accepts_exact_zero() {
+        let mut committed = Baseline::new("scale", true);
+        committed.gate("drops", 0.0, 0.0);
+        let mut fresh = Baseline::new("scale", true);
+        fresh.gate("drops", 0.0, 0.0);
+        assert!(fresh.compare_against(&committed).is_empty());
+        fresh.metrics[0].1.value = 1.0;
+        assert_eq!(fresh.compare_against(&committed).len(), 1);
+    }
+
+    #[test]
+    fn nan_fresh_value_fails_the_gate() {
+        let committed = sample();
+        let mut fresh = sample();
+        fresh.metrics[1].1.value = f64::NAN; // 25% band — NaN must not sneak through
+        let bad = fresh.compare_against(&committed);
+        assert_eq!(bad.len(), 1, "NaN must fail, not silently pass: {bad:?}");
+        assert!(bad[0].contains("drops"), "{bad:?}");
     }
 
     #[test]

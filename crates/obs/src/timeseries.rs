@@ -153,6 +153,16 @@ impl SeriesRing {
         self.downsamples
     }
 
+    /// The coarsest retained window width in microseconds (0 when empty):
+    /// the ring's effective time resolution after downsampling. Two events
+    /// separated by less than this may occupy (and therefore qualify) the
+    /// same merged sample, so [`SeriesRing::spans_where`] cannot tell them
+    /// apart — callers reconstructing fault windows must treat span
+    /// boundaries as accurate only to within this width.
+    pub fn resolution_us(&self) -> u64 {
+        self.buf.iter().map(|s| s.window_us).max().unwrap_or(0)
+    }
+
     /// Sum of every retained sample's `sum` — invariant under downsampling,
     /// so for a counter series this is the total delta over the whole run.
     pub fn total(&self) -> f64 {
@@ -163,6 +173,18 @@ impl SeriesRing {
     /// `(start_us, end_us)` spans.  This is the reconstruction primitive: a
     /// fault window injected at `[a, b)` shows up as a span whose bounds
     /// match `a` and `b` to within one sampling window.
+    ///
+    /// **Resolution caveat.** After capacity overflow the ring holds
+    /// merged samples with widened windows, and a merged sample qualifies
+    /// if *anything* inside its window did.  Two distinct fault windows
+    /// separated by a gap smaller than [`SeriesRing::resolution_us`] can
+    /// therefore land in adjacent qualifying samples and fuse into one
+    /// span.  A quiet gap of at least *twice* the resolution always
+    /// survives (any tiling of windows no wider than the resolution must
+    /// then contain one wholly-quiet, non-qualifying sample); narrower
+    /// gaps depend on how the merge pairs happened to align.  Consumers
+    /// needing exact windows must size the ring capacity to the run
+    /// length or check `resolution_us()` before trusting span counts.
     pub fn spans_where(&self, mut pred: impl FnMut(&Sample) -> bool) -> Vec<(u64, u64)> {
         let mut out: Vec<(u64, u64)> = Vec::new();
         for s in &self.buf {
@@ -287,6 +309,45 @@ mod tests {
         let (start, end) = spans[0];
         // Boundaries blur by at most the (coarsened) window width.
         assert!(start <= 400 && end >= 800, "span must cover the activity: {spans:?}");
+    }
+
+    #[test]
+    fn overflow_fusion_is_bounded_and_surfaced_by_resolution() {
+        // Regression for span fusion at ring-capacity overflow: two
+        // distinct one-window fault windows (ending at 100 and 300)
+        // separated by one quiet window.  At full resolution they are two
+        // spans with exact bounds.
+        let mut fine = SeriesRing::new(16);
+        for (t, v) in [(100, 1.0), (200, 0.0), (300, 1.0), (400, 0.0), (500, 0.0)] {
+            fine.push(point(t, v));
+        }
+        assert_eq!(fine.resolution_us(), 100, "no downsampling: native resolution");
+        assert_eq!(fine.spans_where(|s| s.sum > 0.0), vec![(0, 100), (200, 300)]);
+
+        // The same stream through a capacity-4 ring overflows and merges
+        // pairwise: (100,200) and (300,400) each become one qualifying
+        // 200us sample, and the spans fuse — the gap (100us) is below the
+        // coarsened resolution, which the ring now surfaces.
+        let mut coarse = SeriesRing::new(4);
+        for (t, v) in [(100, 1.0), (200, 0.0), (300, 1.0), (400, 0.0), (500, 0.0)] {
+            coarse.push(point(t, v));
+        }
+        assert_eq!(coarse.downsamples(), 1);
+        assert_eq!(coarse.resolution_us(), 200, "overflow must surface the coarsened width");
+        let spans = coarse.spans_where(|s| s.sum > 0.0);
+        assert_eq!(spans, vec![(0, 400)], "sub-resolution gap fuses (documented)");
+        // Even fused, the span is conservative: it covers both true windows.
+        assert!(spans[0].0 <= 100 && spans[0].1 >= 300);
+
+        // A gap of at least 2x the resolution always survives a merge
+        // pass, whatever the pair alignment.
+        let mut wide = SeriesRing::new(4);
+        for (t, v) in [(100, 1.0), (200, 0.0), (300, 0.0), (400, 0.0), (500, 0.0), (600, 1.0)] {
+            wide.push(point(t, v));
+        }
+        assert_eq!(wide.resolution_us(), 200);
+        let spans = wide.spans_where(|s| s.sum > 0.0);
+        assert_eq!(spans.len(), 2, "400us quiet gap >= 2x200us resolution: {spans:?}");
     }
 
     #[test]

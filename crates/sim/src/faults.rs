@@ -142,6 +142,15 @@ impl FaultConfig {
 
 /// Runtime fault state owned by the runner: the dedicated RNG, the current
 /// churn status of every device, and drop accounting.
+///
+/// **Sharding contract.** There is exactly ONE fault RNG stream, seeded
+/// `seed ^ FAULT_SEED_SALT` — the same salt regardless of shard count —
+/// and it is only ever drawn from the runner's *serial commit phase*, in
+/// global `(time, seq)` event order. The sharded tick loop parallelizes
+/// pure fan-out planning only; no worker thread touches this state. That
+/// is what keeps the draw sequence (and hence every loss/jitter decision)
+/// byte-identical between the single-threaded oracle and any shard count.
+/// `draws` counts every draw so parity tests can assert exactly that.
 #[derive(Debug)]
 pub(crate) struct FaultState {
     cfg: FaultConfig,
@@ -149,6 +158,8 @@ pub(crate) struct FaultState {
     down: Vec<bool>,
     /// Frames dropped by loss injection (all media).
     pub frames_dropped: u64,
+    /// Total RNG draws (loss + jitter), for shard-parity assertions.
+    pub draws: u64,
 }
 
 impl FaultState {
@@ -158,6 +169,7 @@ impl FaultState {
             rng: SmallRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
             down: Vec::new(),
             frames_dropped: 0,
+            draws: 0,
         }
     }
 
@@ -167,6 +179,7 @@ impl FaultState {
         if p <= 0.0 {
             return false;
         }
+        self.draws += 1;
         let lost = self.rng.gen_bool(p.min(1.0));
         if lost {
             self.frames_dropped += 1;
@@ -179,6 +192,7 @@ impl FaultState {
         if max.is_zero() {
             return SimDuration::ZERO;
         }
+        self.draws += 1;
         SimDuration::from_micros(self.rng.gen_range(0..=max.as_micros()))
     }
 

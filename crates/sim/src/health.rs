@@ -69,6 +69,15 @@ pub struct HealthConfig {
     /// Any node down ⇒ degraded; at or above this *fraction* of the fleet
     /// down ⇒ critical.
     pub critical_down_fraction: f64,
+    /// Hysteresis: relative margin every analog signal must clear beyond
+    /// its threshold before an *improvement* is believed. A fleet whose
+    /// delivery ratio oscillates right at a cutoff would otherwise emit a
+    /// [`HealthEvent`] every window; with the band it degrades on the
+    /// first bad window and stays put until the signal is clearly good.
+    /// Worsening verdicts are never delayed, and the discrete node-down
+    /// signal is unaffected (a churn window ending is not a marginal
+    /// reading). `0.0` disables hysteresis.
+    pub recovery_band: f64,
 }
 
 impl Default for HealthConfig {
@@ -80,6 +89,7 @@ impl Default for HealthConfig {
             degraded_queue_depth: 64,
             degraded_beacon_stale_us: 5_000_000,
             critical_down_fraction: 0.25,
+            recovery_band: 0.05,
         }
     }
 }
@@ -120,7 +130,19 @@ impl HealthMonitor {
     /// Derives the verdict for one window and the cause that pinned it.
     /// Worst signal wins; among equals the most actionable cause (delivery,
     /// then churn, then queues, then staleness) is reported.
-    fn classify(&self, w: &WindowStats) -> (HealthState, &'static str) {
+    ///
+    /// With `sticky`, every analog threshold is widened by the recovery
+    /// band (delivery cutoffs raised, queue/staleness/down-fraction
+    /// cutoffs lowered), so a marginal reading still classifies as the
+    /// worse state — the hysteresis half of [`HealthMonitor::observe`].
+    fn classify(&self, w: &WindowStats, sticky: bool) -> (HealthState, &'static str) {
+        let band = if sticky { self.cfg.recovery_band } else { 0.0 };
+        let critical_ratio = self.cfg.critical_delivery_ratio * (1.0 + band);
+        let degraded_ratio = self.cfg.degraded_delivery_ratio * (1.0 + band);
+        let queue_depth = (self.cfg.degraded_queue_depth as f64 * (1.0 - band)) as i64;
+        let stale_us = (self.cfg.degraded_beacon_stale_us as f64 * (1.0 - band)) as u64;
+        let critical_frac = self.cfg.critical_down_fraction * (1.0 - band);
+
         let ratio = if w.attempted >= self.cfg.min_attempts {
             Some(w.delivered as f64 / w.attempted as f64)
         } else {
@@ -129,33 +151,43 @@ impl HealthMonitor {
         let down_frac = if w.fleet == 0 { 0.0 } else { w.nodes_down as f64 / w.fleet as f64 };
 
         if let Some(r) = ratio {
-            if r < self.cfg.critical_delivery_ratio {
+            if r < critical_ratio {
                 return (HealthState::Critical, "delivery-ratio");
             }
         }
-        if w.nodes_down > 0 && down_frac >= self.cfg.critical_down_fraction {
+        if w.nodes_down > 0 && down_frac >= critical_frac {
             return (HealthState::Critical, "node-down");
         }
         if let Some(r) = ratio {
-            if r < self.cfg.degraded_delivery_ratio {
+            if r < degraded_ratio {
                 return (HealthState::Degraded, "delivery-ratio");
             }
         }
         if w.nodes_down > 0 {
             return (HealthState::Degraded, "node-down");
         }
-        if w.queue_hi > self.cfg.degraded_queue_depth {
+        if w.queue_hi > queue_depth {
             return (HealthState::Degraded, "queue-depth");
         }
-        if w.beacon_stale_us > self.cfg.degraded_beacon_stale_us {
+        if w.beacon_stale_us > stale_us {
             return (HealthState::Degraded, "beacon-staleness");
         }
         (HealthState::Healthy, "recovered")
     }
 
     /// Feeds one window; returns the transition when the state changed.
+    /// Worsening readings act immediately; an improvement is believed only
+    /// when the sticky (band-widened) classification also improves, which
+    /// pins threshold oscillation to a single transition.
     pub fn observe(&mut self, t_us: u64, w: &WindowStats) -> Option<HealthEvent> {
-        let (next, cause) = self.classify(w);
+        let (next, cause) = self.classify(w, false);
+        let next = if next < self.state {
+            // `min` so hysteresis can only hold the current state or allow
+            // a (possibly partial) improvement, never invent a worsening.
+            self.classify(w, true).0.min(self.state)
+        } else {
+            next
+        };
         if next == self.state {
             return None;
         }
@@ -246,6 +278,61 @@ mod tests {
         let many_down = WindowStats { nodes_down: 30, ..quiet(100) };
         let ev = m.observe(2, &many_down).expect("transition");
         assert_eq!((ev.to, ev.cause), (HealthState::Critical, "node-down"));
+    }
+
+    #[test]
+    fn threshold_oscillation_pins_to_one_transition() {
+        // Delivery ratio flapping 0.85 / 0.905 around the 0.90 cutoff:
+        // degrade once, then hold — 0.905 does not clear the 5% band
+        // (0.90 × 1.05 = 0.945).
+        let mut m = HealthMonitor::default();
+        let mut transitions = 0;
+        for t in 0..50u64 {
+            let delivered = if t % 2 == 0 { 170 } else { 181 };
+            let w = WindowStats { attempted: 200, delivered, ..quiet(100) };
+            if m.observe(t, &w).is_some() {
+                transitions += 1;
+            }
+        }
+        assert_eq!(transitions, 1, "hysteresis must pin the flap to one degradation");
+        assert_eq!(m.state(), HealthState::Degraded);
+        // A reading clear of the band still recovers immediately.
+        let w = WindowStats { attempted: 200, delivered: 200, ..quiet(100) };
+        let ev = m.observe(99, &w).expect("recovery");
+        assert_eq!((ev.to, ev.cause), (HealthState::Healthy, "recovered"));
+    }
+
+    #[test]
+    fn zero_band_reproduces_the_transition_flood() {
+        // The pre-hysteresis behavior, kept reachable (and documented) via
+        // recovery_band = 0: the same flap transitions every single window.
+        let cfg = HealthConfig { recovery_band: 0.0, ..Default::default() };
+        let mut m = HealthMonitor::new(cfg);
+        let mut transitions = 0;
+        for t in 0..50u64 {
+            let delivered = if t % 2 == 0 { 170 } else { 181 };
+            let w = WindowStats { attempted: 200, delivered, ..quiet(100) };
+            if m.observe(t, &w).is_some() {
+                transitions += 1;
+            }
+        }
+        assert_eq!(transitions, 50, "without the band every window flips the state");
+    }
+
+    #[test]
+    fn hysteresis_never_blocks_a_worsening() {
+        let mut m = HealthMonitor::default();
+        let bad = WindowStats { attempted: 200, delivered: 80, ..quiet(100) };
+        let ev = m.observe(1, &bad).expect("critical");
+        assert_eq!(ev.to, HealthState::Critical);
+        // Partial improvement: ratio 0.85 is clear of the sticky critical
+        // cutoff (0.50 × 1.05) but still below degraded — drops one level.
+        let mid = WindowStats { attempted: 200, delivered: 170, ..quiet(100) };
+        let ev = m.observe(2, &mid).expect("partial recovery");
+        assert_eq!((ev.to, ev.cause), (HealthState::Degraded, "recovered"));
+        // And a fresh collapse re-escalates with no delay.
+        let ev = m.observe(3, &bad).expect("re-escalation");
+        assert_eq!(ev.to, HealthState::Critical);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Fleet flight recorder: one causally ordered timeline for a whole run.
 //!
-//! Every node in a simulated fleet shares one [`Obs`] event ring (the sim is
-//! single-threaded, so a shared ring keeps global order for free).  The
+//! Every node in a simulated fleet shares one [`Obs`] event ring, appended
+//! to only from the runner's serial commit phase — under sharding (DESIGN.md
+//! §5g) the parallel workers plan but never record, so the ring keeps global
+//! `(time, seq)` order for any shard count and recorder dumps stay
+//! byte-identical to the single-threaded oracle's.  The
 //! recorder snapshots that ring, drops the wall-clock-stamped entries that
 //! would break replay determinism, stable-sorts what remains by sim time, and
 //! exposes the result two ways:

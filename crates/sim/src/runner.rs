@@ -315,6 +315,50 @@ impl Ord for Scheduled {
     }
 }
 
+/// A precomputed BLE beacon fan-out: the in-range scanners and their scan
+/// duty, exactly what the serial path snapshots in `ble_adv_tick`.
+type AdvPlan = Vec<(DeviceId, f64)>;
+
+/// One event staged for commit: popped from the heap in `(time, seq)`
+/// order, possibly carrying a fan-out plan from the parallel phase.
+struct Staged {
+    sch: Scheduled,
+    plan: Option<AdvPlan>,
+}
+
+/// How many due events one staging pass pops from the heap. Large enough
+/// to amortize the scoped-thread spawn, small enough that plans rarely go
+/// stale mid-batch.
+const STAGE_BATCH: usize = 2048;
+
+/// Below this many fan-out jobs a batch is planned inline: spawning
+/// threads costs more than the queries themselves.
+const MIN_PARALLEL_JOBS: usize = 128;
+
+/// Plans one advertising tick's fan-out: the in-range devices that are BLE
+/// powered and scanning, with their duty. Pure — reads only the spatial
+/// grid and per-device radio state, no RNG, no counters — and therefore
+/// safe to run on any thread in any order. Must filter exactly like the
+/// serial path in `ble_adv_tick`.
+fn plan_adv(
+    world: &World,
+    devices: &[DeviceState],
+    range: f64,
+    dev: DeviceId,
+    ids: &mut Vec<DeviceId>,
+) -> AdvPlan {
+    world.neighbors_into(dev, range, ids);
+    ids.iter()
+        .filter_map(|&n| {
+            let d = &devices[n.0];
+            match (d.ble_on, d.ble_scan_duty) {
+                (true, Some(duty)) => Some((n, duty)),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
 /// The simulation runner. See the crate docs for the overall model.
 pub struct Runner {
     cfg: SimConfig,
@@ -341,6 +385,18 @@ pub struct Runner {
     obs: Option<RunnerObs>,
     faults: FaultState,
     sampler: Option<Sampler>,
+    /// Shard count for parallel fan-out planning; 1 = the single-threaded
+    /// oracle loop, untouched.
+    shards: usize,
+    /// Bumped on every mutation the planner reads (positions, BLE power,
+    /// scan duty, device count). A staged plan from an older epoch is
+    /// discarded at commit time and recomputed serially.
+    topo_epoch: u64,
+    /// The epoch the current staged batch was planned under.
+    staged_epoch: u64,
+    /// Events popped from the heap in `(time, seq)` order awaiting serial
+    /// commit, with precomputed plans for the BLE advertising ticks.
+    staged: VecDeque<Staged>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -383,6 +439,10 @@ impl Runner {
             obs: None,
             faults,
             sampler: None,
+            shards: 1,
+            topo_epoch: 0,
+            staged_epoch: 0,
+            staged: VecDeque::new(),
         };
         // Materialize configured fault windows as engine events. A default
         // (empty) FaultConfig schedules nothing, keeping the event sequence
@@ -504,6 +564,41 @@ impl Runner {
         self.world.set_brute_force(on);
     }
 
+    /// Splits BLE fan-out *planning* across `n` spatial-grid shards run on
+    /// scoped worker threads; `n <= 1` keeps the single-threaded oracle
+    /// loop byte-for-byte untouched.
+    ///
+    /// The sharded path is byte-identical to the oracle for **any** shard
+    /// count by construction: only the pure planning phase (spatial-grid
+    /// neighbor queries plus the scanner/duty candidate filter) runs in
+    /// parallel, over events already popped in global `(time, seq)` order.
+    /// Every RNG draw, fault-layer decision, observability append, and
+    /// stack delivery then commits serially in exactly that order — the
+    /// same order the oracle executes. Plans are validated against a
+    /// topology epoch and recomputed serially when stale, so mid-batch
+    /// mutations (mobility, power toggles) can cost speed, never fidelity.
+    /// See DESIGN.md §5g for the full determinism contract.
+    pub fn set_shards(&mut self, n: usize) {
+        self.shards = n.max(1);
+    }
+
+    /// Current shard count (1 = single-threaded oracle).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total RNG draws made by the fault layer so far; shard-parity tests
+    /// assert this matches the oracle exactly (same draws, same order).
+    pub fn fault_rng_draws(&self) -> u64 {
+        self.faults.draws
+    }
+
+    /// Records a mutation of state the fan-out planner reads, invalidating
+    /// any plans staged under the previous epoch.
+    fn bump_topo(&mut self) {
+        self.topo_epoch += 1;
+    }
+
     /// Adds a device with the given radios at the given position.
     /// Present radios start powered on (WiFi standby draw starts accruing
     /// immediately, as on the paper's testbed).
@@ -549,6 +644,7 @@ impl Runner {
         });
         self.stacks.push(None);
         self.world.add_device(pos);
+        self.bump_topo();
         self.energy.add_device();
         if caps.wifi {
             self.energy.enter(id, self.now, EnergyState::WifiOn, self.cfg.energy.wifi_standby_ma);
@@ -634,14 +730,10 @@ impl Runner {
 
     /// Runs the simulation up to and including `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.at > t {
-                break;
-            }
-            let Reverse(sch) = self.heap.pop().expect("peeked");
+        while let Some((sch, plan)) = self.pop_due(t) {
             debug_assert!(sch.at >= self.now, "event queue went backwards");
             self.now = sch.at;
-            self.handle(sch.ev);
+            self.handle(sch.ev, plan);
         }
         self.now = t;
     }
@@ -655,16 +747,129 @@ impl Runner {
     /// Runs until the event queue drains or `cap` is reached; returns the
     /// final virtual time.
     pub fn run_until_idle(&mut self, cap: SimTime) -> SimTime {
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.at > cap {
-                self.now = cap;
-                return self.now;
-            }
-            let Reverse(sch) = self.heap.pop().expect("peeked");
+        while let Some((sch, plan)) = self.pop_due(cap) {
             self.now = sch.at;
-            self.handle(sch.ev);
+            self.handle(sch.ev, plan);
+        }
+        // Distinguish "drained" (clock stays at the last event) from "next
+        // event beyond the cap" (clock advances to the cap), matching the
+        // pre-shard loop exactly.
+        if matches!(self.heap.peek(), Some(Reverse(top)) if top.at > cap) {
+            self.now = cap;
         }
         self.now
+    }
+
+    /// Pops the next event due at or before `cap` in global `(time, seq)`
+    /// order, consulting both the staged batch and the heap. In sharded
+    /// mode an empty stage triggers a batched refill with parallel fan-out
+    /// planning; with one shard the stage stays empty and this is exactly
+    /// the oracle's heap pop.
+    ///
+    /// Merging is a plain min: staged events were popped from the heap in
+    /// order, and anything scheduled *since* staging lands at `>= now` with
+    /// a larger seq, so taking the smaller `(at, seq)` of stage-front vs
+    /// heap-top reproduces pure-heap execution order exactly.
+    fn pop_due(&mut self, cap: SimTime) -> Option<(Scheduled, Option<AdvPlan>)> {
+        if self.shards > 1 && self.staged.is_empty() {
+            self.refill_staged(cap);
+        }
+        let take_staged = match (self.staged.front(), self.heap.peek()) {
+            (Some(st), Some(Reverse(top))) => (st.sch.at, st.sch.seq) <= (top.at, top.seq),
+            (Some(_), None) => true,
+            (None, Some(Reverse(top))) => {
+                if top.at > cap {
+                    return None;
+                }
+                false
+            }
+            (None, None) => return None,
+        };
+        if take_staged {
+            // Staged events are all due (`at <= cap` held at refill).
+            let st = self.staged.pop_front().expect("front checked");
+            Some((st.sch, st.plan))
+        } else {
+            // The heap top won the merge, so it is at or before a staged
+            // (hence due) event, or the stage is empty and the cap was
+            // checked above.
+            let Reverse(sch) = self.heap.pop().expect("peeked");
+            Some((sch, None))
+        }
+    }
+
+    /// Pops the next run of due events off the heap in order and plans the
+    /// BLE fan-outs among them in parallel, one scoped worker per
+    /// spatial-grid shard. Planning is pure — neighbor query plus
+    /// scanner/duty filter against state no other thread mutates — so the
+    /// only nondeterminism threads could introduce (scheduling order) never
+    /// touches an RNG, a counter, or an event append.
+    fn refill_staged(&mut self, cap: SimTime) {
+        debug_assert!(self.staged.is_empty());
+        let mut batch: Vec<Scheduled> = Vec::with_capacity(STAGE_BATCH);
+        while batch.len() < STAGE_BATCH {
+            match self.heap.peek() {
+                Some(Reverse(top)) if top.at <= cap => {
+                    let Reverse(sch) = self.heap.pop().expect("peeked");
+                    batch.push(sch);
+                }
+                _ => break,
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        self.staged_epoch = self.topo_epoch;
+        let jobs: Vec<(usize, DeviceId)> = batch
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.ev {
+                Engine::BleAdv { dev, .. } => Some((i, dev)),
+                _ => None,
+            })
+            .collect();
+        let mut plans: Vec<Option<AdvPlan>> = Vec::new();
+        plans.resize_with(batch.len(), || None);
+        if !jobs.is_empty() {
+            let world = &self.world;
+            let devices = &self.devices;
+            let range = self.cfg.range_m(TechType::BleBeacon);
+            if jobs.len() < MIN_PARALLEL_JOBS || self.shards < 2 {
+                let mut ids = Vec::new();
+                for (i, dev) in jobs {
+                    plans[i] = Some(plan_adv(world, devices, range, dev, &mut ids));
+                }
+            } else {
+                let mut groups: Vec<Vec<(usize, DeviceId)>> = vec![Vec::new(); self.shards];
+                for (i, dev) in jobs {
+                    groups[world.shard_of(dev, self.shards)].push((i, dev));
+                }
+                let done: Vec<Vec<(usize, AdvPlan)>> = std::thread::scope(|scope| {
+                    let workers: Vec<_> = groups
+                        .into_iter()
+                        .filter(|g| !g.is_empty())
+                        .map(|group| {
+                            scope.spawn(move || {
+                                let mut ids = Vec::new();
+                                group
+                                    .into_iter()
+                                    .map(|(i, dev)| {
+                                        (i, plan_adv(world, devices, range, dev, &mut ids))
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    workers.into_iter().map(|w| w.join().expect("shard worker panicked")).collect()
+                });
+                for group in done {
+                    for (i, plan) in group {
+                        plans[i] = Some(plan);
+                    }
+                }
+            }
+        }
+        self.staged.extend(batch.into_iter().zip(plans).map(|(sch, plan)| Staged { sch, plan }));
     }
 
     // ------------------------------------------------------------------
@@ -943,10 +1148,11 @@ impl Runner {
     }
 
     fn ble_power(&mut self, dev: DeviceId, on: bool) {
-        let d = &mut self.devices[dev.0];
-        if !d.caps.ble {
+        if !self.devices[dev.0].caps.ble {
             return;
         }
+        self.bump_topo(); // fan-out plans read `ble_on`
+        let d = &mut self.devices[dev.0];
         if on {
             d.ble_on = true;
         } else {
@@ -959,13 +1165,14 @@ impl Runner {
     }
 
     fn ble_set_scan(&mut self, dev: DeviceId, duty: Option<f64>) {
-        let d = &mut self.devices[dev.0];
-        if !d.ble_on {
+        if !self.devices[dev.0].ble_on {
             if duty.is_some() {
                 self.trace.record(self.now, dev, "ble scan ignored: radio off");
             }
             return;
         }
+        self.bump_topo(); // fan-out plans read `ble_scan_duty`
+        let d = &mut self.devices[dev.0];
         if d.ble_scan_duty.take().is_some() {
             self.energy.leave(dev, self.now, EnergyState::BleScan);
         }
@@ -1336,7 +1543,7 @@ impl Runner {
         }
     }
 
-    fn handle(&mut self, ev: Engine) {
+    fn handle(&mut self, ev: Engine, plan: Option<AdvPlan>) {
         match ev {
             Engine::StartStack { dev } => self.deliver(dev, NodeEvent::Start),
             Engine::Timer { dev, token, gen } => {
@@ -1344,7 +1551,7 @@ impl Runner {
                     self.deliver(dev, NodeEvent::Timer { token });
                 }
             }
-            Engine::BleAdv { dev, slot, gen } => self.ble_adv_tick(dev, slot, gen),
+            Engine::BleAdv { dev, slot, gen } => self.ble_adv_tick(dev, slot, gen, plan),
             Engine::BleOneShotDeliver { to, from, payload } => {
                 let d = &self.devices[to.0];
                 if d.ble_on
@@ -1444,9 +1651,11 @@ impl Runner {
             Engine::InfraChunkDone { dev, gen } => self.infra_chunk_done(dev, gen),
             Engine::Teleport { dev, pos } => {
                 self.world.set_position(dev, pos);
+                self.bump_topo();
                 self.audit_connections(dev, false);
             }
             Engine::WalkStep { dev, to, speed_mps } => {
+                self.bump_topo();
                 let cur = self.world.position(dev);
                 let remaining = cur.distance(to);
                 if remaining <= speed_mps {
@@ -1580,7 +1789,7 @@ impl Runner {
         self.trace.record(self.now, dev, "fault: node up (churn)");
     }
 
-    fn ble_adv_tick(&mut self, dev: DeviceId, slot: u32, gen: u64) {
+    fn ble_adv_tick(&mut self, dev: DeviceId, slot: u32, gen: u64, plan: Option<AdvPlan>) {
         // Probe the slot without touching the payload: most pulses reach no
         // scanner, and the `Bytes` refcount round-trip is measurable at
         // fleet scale. The payload is cloned out only when a delivery
@@ -1617,21 +1826,32 @@ impl Runner {
                 EventKind::BeaconSent { tech: "ble-beacon", epoch },
             );
         }
-        // Resolve the whole fan-out through the spatial grid once, into
-        // pooled buffers: recipients plus their scan duty, snapshotted
-        // before any delivery can mutate device state.
-        let mut ids = std::mem::take(&mut self.nbr_buf);
-        let mut candidates = std::mem::take(&mut self.adv_buf);
-        self.world.neighbors_into(dev, self.cfg.range_m(TechType::BleBeacon), &mut ids);
-        candidates.clear();
-        candidates.extend(ids.iter().filter_map(|&n| {
-            let d = &self.devices[n.0];
-            match (d.ble_on, d.ble_scan_duty) {
-                (true, Some(duty)) => Some((n, duty)),
-                _ => None,
+        // Resolve the whole fan-out through the spatial grid once:
+        // recipients plus their scan duty, snapshotted before any delivery
+        // can mutate device state. A staged plan (sharded mode) is used
+        // only while its epoch is current — any topology or radio mutation
+        // since planning forces a serial recompute, which filters
+        // identically (see `plan_adv`), so the two sources are
+        // interchangeable bit for bit.
+        let planned = plan.filter(|_| self.staged_epoch == self.topo_epoch);
+        let (candidates, pooled) = match planned {
+            Some(p) => (p, false),
+            None => {
+                let mut ids = std::mem::take(&mut self.nbr_buf);
+                let mut cand = std::mem::take(&mut self.adv_buf);
+                self.world.neighbors_into(dev, self.cfg.range_m(TechType::BleBeacon), &mut ids);
+                cand.clear();
+                cand.extend(ids.iter().filter_map(|&n| {
+                    let d = &self.devices[n.0];
+                    match (d.ble_on, d.ble_scan_duty) {
+                        (true, Some(duty)) => Some((n, duty)),
+                        _ => None,
+                    }
+                }));
+                self.nbr_buf = ids;
+                (cand, true)
             }
-        }));
-        self.nbr_buf = ids;
+        };
         self.schedule(interval, Engine::BleAdv { dev, slot, gen });
         if !candidates.is_empty() {
             let d = &self.devices[dev.0];
@@ -1667,7 +1887,9 @@ impl Runner {
                 }
             }
         }
-        self.adv_buf = candidates;
+        if pooled {
+            self.adv_buf = candidates;
+        }
     }
 
     fn mcast_done(&mut self, gen: u64) {

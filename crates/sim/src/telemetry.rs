@@ -24,6 +24,13 @@
 //! Synthetic series `sim.nodes_down` and `sim.health` record churn and the
 //! health verdict per window, so fault windows can be reconstructed from the
 //! series alone with [`SeriesRing::spans_where`].
+//!
+//! Under the sharded tick loop (DESIGN.md §5g) sampling still happens
+//! exclusively in the serial commit phase: `Engine::Sample` events merge
+//! into the same global `(time, seq)` order as everything else, and the
+//! counters they read were all incremented in that order — so the JSONL
+//! stream is byte-identical for any shard count, which `shard_parity.rs`
+//! asserts.
 
 use std::collections::{BTreeMap, HashMap};
 

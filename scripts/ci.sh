@@ -21,8 +21,11 @@ cargo test --workspace -q
 echo "== reliability smoke (fault matrix) =="
 cargo run --release -p omni-bench --bin reliability -- --smoke
 
-echo "== scale smoke (1000-node tick budget) =="
+echo "== scale smoke (1000-node tick budget, 10k shard parity) =="
 cargo run --release -p omni-bench --bin scale -- --smoke
+
+echo "== shard parity (500-node oracle vs 4-shard, byte-identical artifacts) =="
+cargo run --release -p omni-bench --bin scale -- --parity
 
 echo "== trace smoke (flight-recorder completeness + determinism) =="
 cargo run --release -p omni-bench --bin trace -- --smoke

@@ -244,6 +244,10 @@ pub mod strategy {
         (A, B, C, D)
         (A, B, C, D, E)
         (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
     }
 }
 
