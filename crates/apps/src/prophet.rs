@@ -23,101 +23,10 @@ use omni_wire::{MeshAddress, OmniAddress};
 const TAG_SUMMARY: u8 = b'S';
 const TAG_BUNDLE: u8 = b'F';
 
-/// PRoPHET parameters (defaults from the original paper).
-#[derive(Debug, Clone, Copy)]
-pub struct ProphetConfig {
-    /// Encounter initialization constant `P_init`.
-    pub p_init: f64,
-    /// Transitivity scaling constant `β`.
-    pub beta: f64,
-    /// Aging constant `γ`, applied once per aging interval.
-    pub gamma: f64,
-    /// How often predictabilities age.
-    pub aging_interval: SimDuration,
-    /// Minimum gap between context sightings that counts as a *new*
-    /// encounter (re-hearing a neighbor's beacon is not a new encounter).
-    pub encounter_gap: SimDuration,
-}
-
-impl Default for ProphetConfig {
-    fn default() -> Self {
-        ProphetConfig {
-            p_init: 0.75,
-            beta: 0.25,
-            gamma: 0.98,
-            aging_interval: SimDuration::from_secs(1),
-            encounter_gap: SimDuration::from_secs(10),
-        }
-    }
-}
-
-/// The delivery-predictability table: `P(self, X)` per known destination.
-#[derive(Debug, Clone, Default)]
-pub struct ProphetTable {
-    p: HashMap<OmniAddress, f64>,
-}
-
-impl ProphetTable {
-    /// Creates an empty table.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Seeds a predictability (e.g. prior encounter history).
-    pub fn seed(&mut self, dest: OmniAddress, p: f64) {
-        self.p.insert(dest, p.clamp(0.0, 1.0));
-    }
-
-    /// `P(self, x)`, zero if unknown.
-    pub fn get(&self, x: OmniAddress) -> f64 {
-        self.p.get(&x).copied().unwrap_or(0.0)
-    }
-
-    /// Encounter update: `P = P + (1 − P)·P_init`.
-    pub fn encounter(&mut self, peer: OmniAddress, cfg: &ProphetConfig) {
-        let p = self.get(peer);
-        self.p.insert(peer, p + (1.0 - p) * cfg.p_init);
-    }
-
-    /// Aging: `P = P·γᵏ` for `k` elapsed intervals.
-    pub fn age(&mut self, intervals: u32, cfg: &ProphetConfig) {
-        let factor = cfg.gamma.powi(intervals as i32);
-        for v in self.p.values_mut() {
-            *v *= factor;
-        }
-        self.p.retain(|_, v| *v > 1e-6);
-    }
-
-    /// Transitivity through `peer`:
-    /// `P(self, dest) = max(P(self, dest), P(self, peer)·P(peer, dest)·β)`.
-    pub fn transitivity(
-        &mut self,
-        peer: OmniAddress,
-        peer_summary: &[(OmniAddress, f64)],
-        cfg: &ProphetConfig,
-    ) {
-        let p_peer = self.get(peer);
-        for &(dest, p_pd) in peer_summary {
-            if dest == peer {
-                continue;
-            }
-            let candidate = p_peer * p_pd * cfg.beta;
-            let current = self.get(dest);
-            if candidate > current {
-                self.p.insert(dest, candidate);
-            }
-        }
-    }
-
-    /// The summary vector to advertise (largest predictabilities first,
-    /// truncated to `max` entries so it fits a BLE advertisement).
-    pub fn summary(&self, max: usize) -> Vec<(OmniAddress, f64)> {
-        let mut v: Vec<(OmniAddress, f64)> = self.p.iter().map(|(a, p)| (*a, *p)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        v.truncate(max);
-        v
-    }
-}
+// The router core lives in `omni_core::relay` since the middleware grew its
+// own in-manager PRoPHET relay strategy; this crate re-exports it so the
+// application-level variants and the core forwarder share one implementation.
+pub use omni_core::{ProphetConfig, ProphetTable};
 
 /// A store-carry-forward bundle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,35 +39,15 @@ pub struct Bundle {
     pub size: u64,
 }
 
-/// Encodes a summary vector as a context payload.
+/// Encodes a summary vector as a context payload (the shared core codec
+/// under this crate's `'S'` tag).
 pub fn encode_summary(summary: &[(OmniAddress, f64)]) -> Bytes {
-    let mut b = BytesMut::with_capacity(2 + summary.len() * 9);
-    b.put_u8(TAG_SUMMARY);
-    b.put_u8(summary.len() as u8);
-    for (addr, p) in summary {
-        b.put_slice(&addr.to_bytes());
-        b.put_u8((p.clamp(0.0, 1.0) * 255.0) as u8);
-    }
-    b.freeze()
+    omni_core::relay::encode_summary(TAG_SUMMARY, summary)
 }
 
 /// Decodes a summary vector context payload.
 pub fn decode_summary(bytes: &[u8]) -> Option<Vec<(OmniAddress, f64)>> {
-    if bytes.len() < 2 || bytes[0] != TAG_SUMMARY {
-        return None;
-    }
-    let n = bytes[1] as usize;
-    if bytes.len() != 2 + n * 9 {
-        return None;
-    }
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let off = 2 + i * 9;
-        let mut addr = [0u8; 8];
-        addr.copy_from_slice(&bytes[off..off + 8]);
-        out.push((OmniAddress::from_bytes(addr), bytes[off + 8] as f64 / 255.0));
-    }
-    Some(out)
+    omni_core::relay::decode_summary(TAG_SUMMARY, bytes)
 }
 
 /// Encodes a bundle transfer descriptor.
@@ -199,7 +88,7 @@ pub type SharedProphetReport = Rc<RefCell<ProphetReport>>;
 /// Forwarding decision shared by all variants: forward when the peer *is*
 /// the destination, or is a strictly better carrier.
 pub fn should_forward(own_p: f64, peer: OmniAddress, peer_p: f64, bundle: &Bundle) -> bool {
-    peer == bundle.dest || peer_p > own_p
+    omni_core::relay::prophet_should_forward(own_p, peer, peer_p, bundle.dest)
 }
 
 // ---------------------------------------------------------------------
@@ -320,8 +209,9 @@ pub fn omni_prophet(
                     s.peer_summaries.insert(src, summary.clone());
                     if new {
                         let cfg = s.cfg;
+                        let own = s.own;
                         s.table.encounter(src, &cfg);
-                        s.table.transitivity(src, &summary, &cfg);
+                        s.table.transitivity(own, src, &summary, &cfg);
                     }
                     new
                 };
@@ -489,8 +379,9 @@ impl SpHandler for SpProphet {
         self.peer_summaries.insert(peer, summary.clone());
         if new_encounter {
             let cfg = self.cfg;
+            let own = self.own;
             self.table.encounter(peer, &cfg);
-            self.table.transitivity(peer, &summary, &cfg);
+            self.table.transitivity(own, peer, &summary, &cfg);
             self.refresh_beacon(ctl);
         }
         self.try_forward(peer, ctl);
@@ -576,13 +467,27 @@ mod tests {
         let cfg = ProphetConfig::default();
         let mut t = ProphetTable::new();
         t.seed(a(2), 0.8); // P(self, B)
-        t.transitivity(a(2), &[(a(3), 0.9)], &cfg);
+        t.transitivity(a(1), a(2), &[(a(3), 0.9)], &cfg);
         // P(self, C) = 0.8 * 0.9 * 0.25 = 0.18.
         assert!((t.get(a(3)) - 0.18).abs() < 1e-12);
         // A direct, higher value is not lowered.
         t.seed(a(3), 0.5);
-        t.transitivity(a(2), &[(a(3), 0.9)], &cfg);
+        t.transitivity(a(1), a(2), &[(a(3), 0.9)], &cfg);
         assert!((t.get(a(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitivity_never_plants_entries_for_self_or_the_peer() {
+        // A peer's summary routinely lists *us* (it met us) and itself; both
+        // entries must be ignored or they crowd real destinations out of the
+        // size-capped summary we advertise.
+        let cfg = ProphetConfig::default();
+        let mut t = ProphetTable::new();
+        t.seed(a(2), 0.8);
+        t.transitivity(a(1), a(2), &[(a(1), 0.9), (a(2), 0.9), (a(3), 0.9)], &cfg);
+        assert_eq!(t.get(a(1)), 0.0, "no self-entry");
+        assert!((t.get(a(2)) - 0.8).abs() < 1e-12, "peer entry untouched");
+        assert!(t.get(a(3)) > 0.0);
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub struct OmniConfig {
     /// classic fire-and-forget behavior exactly: no deadline timers, no BLE
     /// link-layer acks, and the single-pass fallback chain.
     pub retry: RetryPolicy,
+    /// Opt-in multi-hop relay (store-carry-forward, DESIGN.md §5h). The
+    /// default ([`crate::RelayPolicy::off`]) keeps single-hop semantics and
+    /// the pre-relay wire format exactly; any other strategy stamps origin
+    /// sends with a TTL'd relay header, takes bounded custody of frames
+    /// addressed elsewhere, and re-offers them to fresh peers under the
+    /// configured forwarding strategy (epidemic, PRoPHET, spray-and-wait).
+    pub relay: crate::relay::RelayPolicy,
 }
 
 /// Policy for the reliable data path (retry/backoff/failover).
@@ -164,6 +171,7 @@ impl Default for OmniConfig {
             obs: None,
             queue_capacity: None,
             retry: RetryPolicy::off(),
+            relay: crate::relay::RelayPolicy::off(),
         }
     }
 }

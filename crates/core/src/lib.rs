@@ -58,6 +58,7 @@ mod control;
 mod manager;
 mod peers;
 mod queues;
+pub mod relay;
 pub mod security;
 mod selection;
 mod stack;
@@ -75,6 +76,9 @@ pub use peers::{PeerMap, PeerRecord};
 pub use queues::{
     LowAddr, ReceivedItem, ResponseOk, SendOp, SendRequest, SharedQueue, TechFailure, TechQueues,
     TechResponse,
+};
+pub use relay::{
+    CustodyEntry, CustodyStore, ProphetConfig, ProphetTable, RelayPolicy, RelayStrategy, SeenSet,
 };
 pub use security::{ContextCipher, GroupKey};
 pub use selection::{candidates, Candidate};

@@ -28,7 +28,7 @@ use omni_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use omni_sim::{NodeApi, NodeEvent, SimDuration, SimTime};
 use omni_wire::{
     AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
-    ResponseInfo, StatusCode, TechType, TraceId,
+    RelayHeader, ResponseInfo, StatusCode, TechType, TraceId, RELAY_LEN, TRACE_LEN,
 };
 
 use crate::api::{
@@ -39,6 +39,9 @@ use crate::config::OmniConfig;
 use crate::peers::PeerMap;
 use crate::queues::{
     LowAddr, ReceivedItem, ResponseOk, SendOp, SendRequest, SharedQueue, TechQueues, TechResponse,
+};
+use crate::relay::{
+    self, CustodyEntry, CustodyStore, ProphetConfig, ProphetTable, RelayStrategy, SeenSet,
 };
 use crate::security::ContextCipher;
 use crate::selection::{self, Candidate};
@@ -118,13 +121,24 @@ struct MgrObs {
     /// `mgr.send_latency_us{tech=..}`: enqueue → terminal DataSent, in sim
     /// microseconds, indexed by [`tech_idx`].
     send_latency_us: [Histogram; 4],
+    /// `mgr.data_relayed{strategy=..}`: successful custody-hop forwards.
+    data_relayed: Counter,
+    /// `mgr.data_custody{strategy=..}`: frames taken into custody.
+    data_custody: Counter,
+    /// `mgr.data_deduped{strategy=..}`: duplicate relay copies suppressed.
+    data_deduped: Counter,
+    /// `mgr.ttl_expired{strategy=..}`: frames expired (TTL zero, custody
+    /// timeout, or custody eviction).
+    ttl_expired: Counter,
+    /// `mgr.custody_depth`: frames currently held in custody.
+    custody_depth: Gauge,
     /// Fresh-peer snapshot from the previous engagement evaluation, for
     /// `PeerExpired` detection (independent of the adaptive-beacon state).
     fresh_prev: BTreeSet<OmniAddress>,
 }
 
 impl MgrObs {
-    fn new(obs: &Obs, node: u32) -> Self {
+    fn new(obs: &Obs, node: u32, relay_label: &'static str) -> Self {
         MgrObs {
             obs: obs.clone(),
             node,
@@ -148,6 +162,11 @@ impl MgrObs {
                 .map(|ty| obs.counter_with("mgr.data_delivered", &[("tech", tech_label(ty))])),
             send_latency_us: ALL_TECHS
                 .map(|ty| obs.histogram_with("mgr.send_latency_us", &[("tech", tech_label(ty))])),
+            data_relayed: obs.counter_with("mgr.data_relayed", &[("strategy", relay_label)]),
+            data_custody: obs.counter_with("mgr.data_custody", &[("strategy", relay_label)]),
+            data_deduped: obs.counter_with("mgr.data_deduped", &[("strategy", relay_label)]),
+            ttl_expired: obs.counter_with("mgr.ttl_expired", &[("strategy", relay_label)]),
+            custody_depth: obs.gauge("mgr.custody_depth"),
             fresh_prev: BTreeSet::new(),
         }
     }
@@ -197,6 +216,35 @@ struct DataSend {
     /// When the application handed us this send — the zero point of the
     /// per-tech `mgr.send_latency_us` histogram.
     enqueued_at: SimTime,
+    /// `Some` when this send is a custody-hop forward of a relayed frame:
+    /// the relay header stamped on the forwarded copy. Origin sends keep
+    /// `None` (even with the relay layer on).
+    relay_hop: Option<RelayHeader>,
+}
+
+/// Origin-side bookkeeping for a send riding the relay layer: the one
+/// terminal status the application is owed fires on the *first* successful
+/// custody handoff (success) or on custody expiry/eviction (failure) —
+/// exactly once either way.
+struct OriginCustody {
+    cb: SharedCb,
+    dest: OmniAddress,
+    /// Technologies tried before the send fell back to custody (for the
+    /// terminal `SendExhausted` info).
+    tried: Vec<TechType>,
+}
+
+/// PRoPHET state, present when the relay strategy is
+/// [`RelayStrategy::Prophet`].
+struct ProphetState {
+    cfg: ProphetConfig,
+    table: ProphetTable,
+    /// Latest delivery-predictability summary heard from each neighbor.
+    peer_summaries: HashMap<OmniAddress, Vec<(OmniAddress, f64)>>,
+    /// Last sighting per peer, for the encounter-gap filter.
+    last_encounter: HashMap<OmniAddress, SimTime>,
+    /// Aging high-water mark (ages in whole `aging_interval` steps).
+    last_aged: SimTime,
 }
 
 enum Pending {
@@ -234,8 +282,19 @@ pub struct OmniManager {
     /// Context-beacon sealer (paper §3.4), present when a group key is
     /// configured.
     cipher: Option<ContextCipher>,
-    /// Relay dedup: (origin, payload hash) → last relayed at.
-    relay_seen: HashMap<(OmniAddress, u64), omni_sim::SimTime>,
+    /// Context-relay dedup: (origin, payload hash) → last relayed at.
+    ctx_relay_seen: HashMap<(OmniAddress, u64), omni_sim::SimTime>,
+    /// Data-relay dedup (DESIGN.md §5h): bounded first-seen set over trace
+    /// IDs.
+    data_seen: SeenSet,
+    /// Frames held on behalf of other nodes (store-carry-forward).
+    custody: CustodyStore,
+    /// Sends this node originated that are riding the relay layer, keyed by
+    /// trace: their single terminal status is deferred until the first
+    /// successful handoff or custody expiry.
+    custody_origin: HashMap<u64, OriginCustody>,
+    /// PRoPHET routing state, when that strategy is selected.
+    prophet: Option<ProphetState>,
     /// Current address-beacon interval (adapts when the adaptive policy is
     /// configured).
     beacon_interval_current: SimDuration,
@@ -295,7 +354,20 @@ impl OmniManager {
                 TechSlot { ty, tech, send: mk_queue(&cfg, send_queue_label(ty), node), addr: None }
             })
             .collect();
-        let mgr_obs = cfg.obs.as_ref().map(|obs| MgrObs::new(obs, node));
+        let mgr_obs =
+            cfg.obs.as_ref().map(|obs| MgrObs::new(obs, node, cfg.relay.strategy.label()));
+        let prophet = match cfg.relay.strategy {
+            RelayStrategy::Prophet(pcfg) => Some(ProphetState {
+                cfg: pcfg,
+                table: ProphetTable::new(),
+                peer_summaries: HashMap::new(),
+                last_encounter: HashMap::new(),
+                last_aged: SimTime::ZERO,
+            }),
+            _ => None,
+        };
+        let data_seen = SeenSet::new(cfg.relay.seen_capacity);
+        let custody = CustodyStore::new(cfg.relay.custody_capacity);
         OmniManager {
             own,
             cfg,
@@ -317,7 +389,11 @@ impl OmniManager {
             pending_calls: Vec::new(),
             started: false,
             cipher: cfg_cipher,
-            relay_seen: HashMap::new(),
+            ctx_relay_seen: HashMap::new(),
+            data_seen,
+            custody,
+            custody_origin: HashMap::new(),
+            prophet,
             beacon_interval_current: beacon_interval,
             last_fresh_peers: BTreeSet::new(),
             retry_fresh_prev: BTreeSet::new(),
@@ -407,6 +483,7 @@ impl OmniManager {
                 source: self.own,
                 payload: sealed,
                 trace: Some(epoch),
+                relay: None,
             };
             self.contexts.insert(
                 ADDRESS_BEACON_CONTEXT_ID,
@@ -580,15 +657,28 @@ impl OmniManager {
 
     fn process_received(&mut self, item: ReceivedItem, api: &mut NodeApi<'_>) {
         if item.packed.source == self.own {
-            return; // our own echo
+            return; // our own echo (including relay copies of our frames)
         }
         let now = api.now;
-        let is_new_peer = self.peers.get(item.packed.source).is_none();
-        self.peers.observe(item.packed.source, item.tech, item.source, now);
-        if let Some(m) = &self.mgr_obs {
-            m.peers.set(self.peers.len() as i64);
-            if is_new_peer {
-                m.event(now, EventKind::PeerDiscovered { peer: item.packed.source.as_u64() });
+        // Forwarded relay copies keep the *origin* in `source`; observing
+        // them would poison the peer map with a non-link-local mapping
+        // (the forwarder's own beacons handle link-local discovery).
+        let observe = item.packed.relay.is_none();
+        let is_new_peer = observe && self.peers.get(item.packed.source).is_none();
+        if observe {
+            self.peers.observe(item.packed.source, item.tech, item.source, now);
+            if let Some(m) = &self.mgr_obs {
+                m.peers.set(self.peers.len() as i64);
+                if is_new_peer {
+                    m.event(now, EventKind::PeerDiscovered { peer: item.packed.source.as_u64() });
+                }
+            }
+            if self.prophet.is_some() {
+                self.prophet_note_encounter(item.packed.source, now);
+            }
+            if is_new_peer && self.cfg.relay.enabled() {
+                // A new forwarding opportunity for everything in custody.
+                self.pump_custody(api);
             }
         }
         match item.packed.kind {
@@ -629,30 +719,317 @@ impl OmniManager {
                 };
                 self.handle_context_plain(item.packed.source, plain, api);
             }
-            ContentKind::Data => {
-                let src = item.packed.source;
-                let payload = item.packed.payload.clone();
+            ContentKind::Data => match item.packed.relay {
+                Some(header) => self.handle_relay_data(item, header, api),
+                None => self.deliver_data(&item, now),
+            },
+        }
+    }
+
+    /// Delivers a data frame to the application's data callbacks (the
+    /// `source` is the origin, even for frames that arrived via relay hops).
+    fn deliver_data(&mut self, item: &ReceivedItem, now: SimTime) {
+        let src = item.packed.source;
+        let payload = item.packed.payload.clone();
+        if let Some(m) = &self.mgr_obs {
+            m.data_delivered.inc();
+            m.delivered_by_tech[tech_idx(item.tech)].inc();
+            m.event(
+                now,
+                EventKind::DataDelivered {
+                    peer: src.as_u64(),
+                    bytes: payload.len() as u64,
+                    trace: item.packed.trace.map_or(0, TraceId::as_u64),
+                },
+            );
+        }
+        let mut cbs = std::mem::take(&mut self.data_cbs);
+        for cb in cbs.iter_mut() {
+            let mut ctl = crate::api::OmniCtl::at(now);
+            cb(src, &payload, &mut ctl);
+            self.pending_calls.extend(ctl.calls);
+        }
+        debug_assert!(self.data_cbs.is_empty());
+        self.data_cbs = cbs;
+    }
+
+    /// A data frame carrying a relay header (DESIGN.md §5h): deliver — with
+    /// first-seen dedup — when this node is the final destination, otherwise
+    /// take bounded custody and start offering the frame onward.
+    fn handle_relay_data(
+        &mut self,
+        item: ReceivedItem,
+        header: RelayHeader,
+        api: &mut NodeApi<'_>,
+    ) {
+        let now = api.now;
+        let trace = item.packed.trace.map_or(0, TraceId::as_u64);
+        let origin = item.packed.source;
+        if header.dest == self.own {
+            if trace != 0 && !self.data_seen.insert(trace) {
                 if let Some(m) = &self.mgr_obs {
-                    m.data_delivered.inc();
-                    m.delivered_by_tech[tech_idx(item.tech)].inc();
-                    m.event(
-                        now,
-                        EventKind::DataDelivered {
-                            peer: src.as_u64(),
-                            bytes: payload.len() as u64,
-                            trace: item.packed.trace.map_or(0, TraceId::as_u64),
-                        },
-                    );
+                    m.data_deduped.inc();
+                    m.event(now, EventKind::DataDeduped { peer: origin.as_u64(), trace });
                 }
-                let mut cbs = std::mem::take(&mut self.data_cbs);
-                for cb in cbs.iter_mut() {
-                    let mut ctl = crate::api::OmniCtl::at(now);
-                    cb(src, &payload, &mut ctl);
-                    self.pending_calls.extend(ctl.calls);
-                }
-                debug_assert!(self.data_cbs.is_empty());
-                self.data_cbs = cbs;
+                return;
             }
+            self.deliver_data(&item, now);
+            return;
+        }
+        if !self.cfg.relay.enabled() {
+            api.trace("omni: dropped relay frame addressed elsewhere (relaying disabled)");
+            return;
+        }
+        if trace == 0 {
+            api.trace("omni: dropped untraced relay frame (custody requires a trace)");
+            return;
+        }
+        if !self.data_seen.insert(trace) {
+            if let Some(m) = &self.mgr_obs {
+                m.data_deduped.inc();
+                m.event(now, EventKind::DataDeduped { peer: origin.as_u64(), trace });
+            }
+            return;
+        }
+        if header.ttl == 0 {
+            if let Some(m) = &self.mgr_obs {
+                m.ttl_expired.inc();
+                m.event(
+                    now,
+                    EventKind::TtlExpired {
+                        peer: header.dest.as_u64(),
+                        hops: u64::from(header.hops),
+                        trace,
+                    },
+                );
+            }
+            return;
+        }
+        self.take_custody(item.packed, header, trace, now);
+        self.pump_custody(api);
+    }
+
+    /// Inserts a frame into the custody store, accounting the take and any
+    /// eviction the bound forces.
+    fn take_custody(&mut self, frame: PackedStruct, header: RelayHeader, trace: u64, now: SimTime) {
+        let evicted = self
+            .custody
+            .insert(trace, CustodyEntry { frame, taken_at: now, offered: HashMap::new() });
+        if let Some(m) = &self.mgr_obs {
+            m.data_custody.inc();
+            m.event(
+                now,
+                EventKind::DataCustody {
+                    peer: header.dest.as_u64(),
+                    ttl: u64::from(header.ttl),
+                    trace,
+                },
+            );
+        }
+        if let Some((old_trace, old)) = evicted {
+            self.expire_custody_entry(old_trace, old, now);
+        }
+        if let Some(m) = &self.mgr_obs {
+            m.custody_depth.set(self.custody.len() as i64);
+        }
+    }
+
+    /// A custody entry is gone without reaching the destination (TTL-style
+    /// expiry or bound-forced eviction). If this node originated the frame
+    /// and is still waiting, this is its terminal failure.
+    fn expire_custody_entry(&mut self, trace: u64, entry: CustodyEntry, now: SimTime) {
+        if let Some(m) = &self.mgr_obs {
+            m.ttl_expired.inc();
+            let (dest, hops) =
+                entry.frame.relay.map(|h| (h.dest.as_u64(), u64::from(h.hops))).unwrap_or((0, 0));
+            m.event(now, EventKind::TtlExpired { peer: dest, hops, trace });
+        }
+        if let Some(oc) = self.custody_origin.remove(&trace) {
+            if let Some(m) = &self.mgr_obs {
+                m.data_failed.inc();
+                m.event(now, EventKind::DataFailed { tech: "none", trace });
+                m.event(now, EventKind::SendExhausted { peer: oc.dest.as_u64(), trace });
+            }
+            self.deferred.push_back((
+                oc.cb,
+                StatusCode::SendDataFailure,
+                ResponseInfo::SendExhausted {
+                    description: "relay custody expired before any handoff".into(),
+                    destination: oc.dest,
+                    techs: oc.tried,
+                    trace,
+                },
+            ));
+        }
+    }
+
+    /// Expires stale custody entries, then offers the remaining ones to
+    /// fresh peers under the configured strategy. Deterministic at any shard
+    /// count: custody iterates in insertion order over *sorted* fresh peers.
+    fn pump_custody(&mut self, api: &mut NodeApi<'_>) {
+        if !self.cfg.relay.enabled() || self.custody.is_empty() {
+            return;
+        }
+        let now = api.now;
+        let policy = self.cfg.relay;
+        for (trace, entry) in self.custody.take_expired(now, policy.custody_timeout) {
+            self.expire_custody_entry(trace, entry, now);
+        }
+        if let Some(m) = &self.mgr_obs {
+            m.custody_depth.set(self.custody.len() as i64);
+        }
+        let mut fresh = self.peers.fresh_peers(now, self.cfg.peer_ttl);
+        fresh.sort_unstable();
+        if fresh.is_empty() {
+            return;
+        }
+        let mut offers: Vec<(OmniAddress, PackedStruct, RelayHeader)> = Vec::new();
+        for trace in self.custody.traces() {
+            let Some(entry) = self.custody.get(trace) else { continue };
+            let Some(header) = entry.frame.relay else { continue };
+            let origin = entry.frame.source;
+            // Plan this entry's offers read-only, then stamp the offer
+            // times and clone the forwarded copies.
+            let mut budget = header.copies;
+            let mut planned: Vec<(OmniAddress, RelayHeader)> = Vec::new();
+            for &peer in &fresh {
+                if peer == origin {
+                    continue; // never offer a frame back to its origin
+                }
+                if let Some(&last) = entry.offered.get(&peer) {
+                    if now.saturating_since(last) < policy.reoffer_interval {
+                        continue;
+                    }
+                }
+                let to_dest = peer == header.dest;
+                let fwd_copies = if to_dest {
+                    budget
+                } else {
+                    match policy.strategy {
+                        RelayStrategy::Off => continue,
+                        RelayStrategy::Epidemic => 0,
+                        RelayStrategy::Prophet(_) => {
+                            let dest = header.dest;
+                            let (own_p, peer_p) = match &self.prophet {
+                                Some(ps) => (
+                                    ps.table.get(dest),
+                                    ps.peer_summaries
+                                        .get(&peer)
+                                        .and_then(|s| s.iter().find(|(a, _)| *a == dest))
+                                        .map(|(_, p)| *p)
+                                        .unwrap_or(0.0),
+                                ),
+                                None => (0.0, 0.0),
+                            };
+                            if !relay::prophet_should_forward(own_p, peer, peer_p, dest) {
+                                continue;
+                            }
+                            0
+                        }
+                        RelayStrategy::SprayAndWait { .. } => {
+                            if budget <= 1 {
+                                continue; // wait phase: destination only
+                            }
+                            let half = budget / 2;
+                            budget -= half;
+                            half
+                        }
+                    }
+                };
+                let mut fwd = header.next_hop();
+                fwd.copies = fwd_copies;
+                planned.push((peer, fwd));
+            }
+            if planned.is_empty() {
+                continue;
+            }
+            let frame = entry.frame.clone();
+            if let Some(entry) = self.custody.get_mut(trace) {
+                for (peer, _) in &planned {
+                    entry.offered.insert(*peer, now);
+                }
+            }
+            for (peer, fwd) in planned {
+                let mut copy = frame.clone();
+                copy.relay = Some(fwd);
+                offers.push((peer, copy, fwd));
+            }
+        }
+        for (peer, packed, fwd) in offers {
+            self.submit_relay_hop(peer, packed, fwd, api);
+        }
+    }
+
+    /// Enqueues one custody-hop forward to `next`. When no technology
+    /// currently reaches the peer the offer is silently dropped — the offer
+    /// stamp stays, and the re-offer interval retries later.
+    fn submit_relay_hop(
+        &mut self,
+        next: OmniAddress,
+        packed: PackedStruct,
+        header: RelayHeader,
+        api: &mut NodeApi<'_>,
+    ) {
+        let Some(trace) = packed.trace else { return };
+        let wire_len = packed.payload.len() as u64 + (TRACE_LEN + RELAY_LEN) as u64;
+        let Some(mut cands) = self.data_candidates(next, wire_len, api.now) else { return };
+        if cands.is_empty() {
+            return;
+        }
+        let first = cands.remove(0);
+        let send = DataSend {
+            dest: next,
+            cb: None,
+            remaining: cands,
+            wire_len,
+            packed: Some(packed),
+            attempt: 1,
+            tried: Vec::new(),
+            current: None,
+            trace,
+            enqueued_at: api.now,
+            relay_hop: Some(header),
+        };
+        self.submit_data(send, first, api);
+    }
+
+    /// A custody hop was transmitted successfully: account the forward,
+    /// release custody when the frame reached its destination, and resolve
+    /// the origin's deferred terminal status on the first handoff.
+    fn relay_handoff_done(&mut self, trace: u64, to: OmniAddress, hop: RelayHeader) {
+        if matches!(self.cfg.relay.strategy, RelayStrategy::SprayAndWait { .. }) && to != hop.dest {
+            if let Some(entry) = self.custody.get_mut(trace) {
+                if let Some(h) = entry.frame.relay.as_mut() {
+                    h.copies = h.copies.saturating_sub(hop.copies);
+                }
+            }
+        }
+        if to == hop.dest {
+            self.custody.remove(trace);
+            if let Some(m) = &self.mgr_obs {
+                m.custody_depth.set(self.custody.len() as i64);
+            }
+        }
+        if let Some(oc) = self.custody_origin.remove(&trace) {
+            self.deferred.push_back((
+                oc.cb,
+                StatusCode::SendDataSuccess,
+                ResponseInfo::Destination { destination: oc.dest, trace },
+            ));
+        }
+    }
+
+    /// PRoPHET: note a sighting of `peer`, counting it as a new encounter
+    /// when the configured gap has passed.
+    fn prophet_note_encounter(&mut self, peer: OmniAddress, now: SimTime) {
+        let Some(ps) = &mut self.prophet else { return };
+        let gap = ps.cfg.encounter_gap;
+        let fresh =
+            ps.last_encounter.get(&peer).map(|t| now.saturating_since(*t) > gap).unwrap_or(true);
+        ps.last_encounter.insert(peer, now);
+        if fresh {
+            let cfg = ps.cfg;
+            ps.table.encounter(peer, &cfg);
         }
     }
 
@@ -661,6 +1038,13 @@ impl OmniManager {
     /// enabled (paper §5 future work, BLE-Mesh-style multi-hop context).
     fn handle_context_plain(&mut self, relayer: OmniAddress, plain: Bytes, api: &mut NodeApi<'_>) {
         const RELAY_TAG: u8 = 0xE7;
+        if plain.first() == Some(&relay::PROPHET_SUMMARY_TAG) {
+            // Manager-internal PRoPHET summary (like the 0xE7 envelope,
+            // the 0xE8 tag is reserved): never delivered to applications,
+            // never re-relayed.
+            self.handle_prophet_summary(relayer, &plain, api);
+            return;
+        }
         if plain.first() == Some(&RELAY_TAG) && plain.len() >= 10 {
             let ttl = plain[1];
             let mut origin_bytes = [0u8; 8];
@@ -680,6 +1064,28 @@ impl OmniManager {
                 self.relay_context(relayer, &plain, self.cfg.relay_ttl - 1, api);
             }
         }
+    }
+
+    /// Ingests a neighbor's PRoPHET delivery-predictability summary:
+    /// transitivity update, encounter bookkeeping, and a custody pump (new
+    /// information may open a forwarding opportunity).
+    fn handle_prophet_summary(
+        &mut self,
+        relayer: OmniAddress,
+        plain: &Bytes,
+        api: &mut NodeApi<'_>,
+    ) {
+        let Some(summary) = relay::decode_summary(relay::PROPHET_SUMMARY_TAG, plain) else {
+            return;
+        };
+        let now = api.now;
+        let own = self.own;
+        let Some(ps) = &mut self.prophet else { return };
+        let cfg = ps.cfg;
+        ps.table.transitivity(own, relayer, &summary, &cfg);
+        ps.peer_summaries.insert(relayer, summary);
+        self.prophet_note_encounter(relayer, now);
+        self.pump_custody(api);
     }
 
     fn fire_context(&mut self, src: OmniAddress, payload: Bytes, now: omni_sim::SimTime) {
@@ -711,16 +1117,16 @@ impl OmniManager {
         }
         let key = (origin, h);
         let window = self.beacon_interval_current;
-        if let Some(&last) = self.relay_seen.get(&key) {
+        if let Some(&last) = self.ctx_relay_seen.get(&key) {
             if api.now.saturating_since(last) < window {
                 return;
             }
         }
-        self.relay_seen.insert(key, api.now);
-        if self.relay_seen.len() > 4096 {
+        self.ctx_relay_seen.insert(key, api.now);
+        if self.ctx_relay_seen.len() > 4096 {
             let cutoff = api.now;
             let w = window;
-            self.relay_seen.retain(|_, at| cutoff.saturating_since(*at) < w * 4);
+            self.ctx_relay_seen.retain(|_, at| cutoff.saturating_since(*at) < w * 4);
         }
         let mut envelope = bytes::BytesMut::with_capacity(10 + inner.len());
         envelope.put_u8(RELAY_TAG);
@@ -796,6 +1202,24 @@ impl OmniManager {
                     if self.cfg.retry.enabled() {
                         api.cancel_timer(MGR_TIMER_DATA_BASE + token);
                     }
+                    if let Some(hop) = send.relay_hop {
+                        // A custody hop went out: count it as a relay
+                        // forward, not an application-level DataSent.
+                        if let Some(m) = &self.mgr_obs {
+                            m.data_relayed.inc();
+                            m.event(
+                                api.now,
+                                EventKind::DataRelayed {
+                                    tech: tech_label(tech),
+                                    peer: dest_omni.as_u64(),
+                                    hops: u64::from(hop.hops),
+                                    trace: send.trace.as_u64(),
+                                },
+                            );
+                        }
+                        self.relay_handoff_done(send.trace.as_u64(), dest_omni, hop);
+                        return;
+                    }
                     if let Some(m) = &self.mgr_obs {
                         m.data_sent.inc();
                         m.sent_by_tech[tech_idx(tech)].inc();
@@ -837,6 +1261,9 @@ impl OmniManager {
                         api.cancel_timer(MGR_TIMER_DATA_BASE + token);
                         self.advance_data(send, Some(tech), failure.description, api);
                     } else if send.remaining.is_empty() {
+                        if self.relay_rescue(&mut send, api) {
+                            return;
+                        }
                         if let Some(m) = &self.mgr_obs {
                             m.data_failed.inc();
                             m.event(
@@ -1119,7 +1546,24 @@ impl OmniManager {
         // Derive the trace before candidate selection so even immediately
         // failing sends produce a (single-event) causal timeline.
         let trace = self.next_trace();
-        let Some(mut cands) = self.data_candidates(dest, total_len, api.now) else {
+        // With the relay layer on, origin frames are stamped with a TTL'd
+        // relay header (and sized for the extra header bytes); a
+        // destination that is unknown or unreachable enters custody instead
+        // of failing.
+        let relay_header = self.cfg.relay.enabled().then(|| {
+            let copies = match self.cfg.relay.strategy {
+                RelayStrategy::SprayAndWait { copies } => copies,
+                _ => 0,
+            };
+            RelayHeader::new(dest, self.cfg.relay.initial_ttl).with_copies(copies)
+        });
+        let selection_len =
+            total_len + if relay_header.is_some() { (TRACE_LEN + RELAY_LEN) as u64 } else { 0 };
+        let Some(mut cands) = self.data_candidates(dest, selection_len, api.now) else {
+            if let Some(header) = relay_header {
+                self.origin_custody(dest, data, total_len, cb, trace, header, api);
+                return;
+            }
             if let Some(m) = &self.mgr_obs {
                 m.data_failed.inc();
                 m.event(api.now, EventKind::DataFailed { tech: "none", trace: trace.as_u64() });
@@ -1136,6 +1580,10 @@ impl OmniManager {
             return;
         };
         if cands.is_empty() && !self.cfg.retry.enabled() {
+            if let Some(header) = relay_header {
+                self.origin_custody(dest, data, total_len, cb, trace, header, api);
+                return;
+            }
             if let Some(m) = &self.mgr_obs {
                 m.data_failed.inc();
                 m.event(api.now, EventKind::DataFailed { tech: "none", trace: trace.as_u64() });
@@ -1151,7 +1599,10 @@ impl OmniManager {
             ));
             return;
         }
-        let packed = PackedStruct::data(self.own, data).with_trace(trace);
+        let mut packed = PackedStruct::data(self.own, data).with_trace(trace);
+        if let Some(header) = relay_header {
+            packed = packed.with_relay(header);
+        }
         let mut send = DataSend {
             dest,
             cb: Some(cb),
@@ -1163,6 +1614,7 @@ impl OmniManager {
             current: None,
             trace,
             enqueued_at: api.now,
+            relay_hop: None,
         };
         if cands.is_empty() {
             // Reliable mode: the peer may be mid-partition or mid-reboot;
@@ -1185,6 +1637,37 @@ impl OmniManager {
         let first = cands.remove(0);
         send.remaining = cands;
         self.submit_data(send, first, api);
+    }
+
+    /// Accepts an origin send whose destination is currently unreachable
+    /// into the relay layer: the frame enters local custody and the
+    /// application's terminal status is deferred until the first successful
+    /// handoff (success) or custody expiry (failure).
+    #[allow(clippy::too_many_arguments)]
+    fn origin_custody(
+        &mut self,
+        dest: OmniAddress,
+        data: Bytes,
+        total_len: u64,
+        cb: SharedCb,
+        trace: TraceId,
+        header: RelayHeader,
+        api: &mut NodeApi<'_>,
+    ) {
+        let now = api.now;
+        if let Some(m) = &self.mgr_obs {
+            m.data_enqueued.inc();
+            m.event(
+                now,
+                EventKind::DataEnqueued { tech: "none", bytes: total_len, trace: trace.as_u64() },
+            );
+        }
+        let packed = PackedStruct::data(self.own, data).with_trace(trace).with_relay(header);
+        let t = trace.as_u64();
+        self.data_seen.insert(t);
+        self.custody_origin.insert(t, OriginCustody { cb, dest, tried: Vec::new() });
+        self.take_custody(packed, header, t, now);
+        self.pump_custody(api);
     }
 
     // ------------------------------------------------------------------
@@ -1380,6 +1863,9 @@ impl OmniManager {
             api.set_timer(MGR_TIMER_DATA_BASE + token, delay);
             return;
         }
+        if self.relay_rescue(&mut send, api) {
+            return;
+        }
         if let Some(m) = &self.mgr_obs {
             m.data_failed.inc();
             m.event(
@@ -1403,6 +1889,40 @@ impl OmniManager {
             };
             self.deferred.push_back((cb, StatusCode::SendDataFailure, info));
         }
+    }
+
+    /// Relay-aware failure absorption (DESIGN.md §5h). A custody-hop send
+    /// that fails is never terminal: the custody entry persists and the
+    /// re-offer interval retries the frame later, so the failure is dropped
+    /// silently. An *origin* send that fails with the relay layer on
+    /// converts into local custody — the application's single terminal
+    /// status stays deferred until a handoff succeeds or custody expires.
+    /// Returns `true` when the failure was absorbed.
+    fn relay_rescue(&mut self, send: &mut DataSend, api: &mut NodeApi<'_>) -> bool {
+        if send.relay_hop.is_some() {
+            api.trace(format!("omni: custody hop to {} failed; frame stays in custody", send.dest));
+            return true;
+        }
+        if !self.cfg.relay.enabled() {
+            return false;
+        }
+        let Some(packed) = send.packed.take() else { return false };
+        let Some(header) = packed.relay else {
+            send.packed = Some(packed);
+            return false;
+        };
+        let Some(cb) = send.cb.take() else {
+            send.packed = Some(packed);
+            return false;
+        };
+        let trace = send.trace.as_u64();
+        api.trace(format!("omni: send to {} falling back to relay custody", send.dest));
+        self.data_seen.insert(trace);
+        self.custody_origin
+            .insert(trace, OriginCustody { cb, dest: send.dest, tried: send.tried.clone() });
+        self.take_custody(packed, header, trace, api.now);
+        self.pump_custody(api);
+        true
     }
 
     /// A reliable-data timer fired: either the ack deadline of an in-flight
@@ -1464,6 +1984,10 @@ impl OmniManager {
                 None => continue,
             };
             api.cancel_timer(MGR_TIMER_DATA_BASE + token);
+            let mut send = send;
+            if self.relay_rescue(&mut send, api) {
+                continue;
+            }
             api.trace(format!("omni: peer {peer} expired; cancelling pending send"));
             if let Some(m) = &self.mgr_obs {
                 m.data_failed.inc();
@@ -1547,6 +2071,52 @@ impl OmniManager {
         }
     }
 
+    /// Per-engagement-tick relay maintenance: PRoPHET aging and summary
+    /// broadcast, custody expiry, and a re-offer pass over custody.
+    fn relay_tick(&mut self, api: &mut NodeApi<'_>) {
+        let now = api.now;
+        if let Some(ps) = &mut self.prophet {
+            let step = ps.cfg.aging_interval.as_micros().max(1);
+            let k = now.saturating_since(ps.last_aged).as_micros() / step;
+            if k > 0 {
+                let cfg = ps.cfg;
+                ps.table.age(k.min(u64::from(u32::MAX)) as u32, &cfg);
+                ps.last_aged = SimTime::from_micros(ps.last_aged.as_micros() + k * step);
+            }
+        }
+        self.broadcast_prophet_summary();
+        self.pump_custody(api);
+    }
+
+    /// Broadcasts this node's PRoPHET summary as a manager-internal context
+    /// pack (tag `0xE8`) on every engaged context technology.
+    fn broadcast_prophet_summary(&mut self) {
+        // 5 entries is the most that fits a 64-byte BLE advertisement once
+        // the context header (9 B) and summary framing (2 B) are paid.
+        let summary = match &self.prophet {
+            Some(ps) => ps.table.summary(5),
+            None => return,
+        };
+        if summary.is_empty() {
+            return;
+        }
+        let payload = relay::encode_summary(relay::PROPHET_SUMMARY_TAG, &summary);
+        let sealed = self.seal(payload);
+        let packed = PackedStruct::context(self.own, sealed);
+        let engaged: Vec<TechType> = self.engaged.iter().copied().collect();
+        for tech in engaged {
+            let token = self.alloc_token();
+            if let Some(q) = self.queue_of(tech) {
+                let evicted = q.push(SendRequest {
+                    token,
+                    op: SendOp::RelayContext,
+                    packed: Some(packed.clone()),
+                });
+                self.surface_eviction(tech, evicted);
+            }
+        }
+    }
+
     fn evaluate_engagement(&mut self, api: &mut NodeApi<'_>) {
         self.adapt_beacon_interval(api);
         if let Some(m) = self.mgr_obs.as_mut() {
@@ -1570,6 +2140,9 @@ impl OmniManager {
             for peer in expired {
                 self.cancel_sends_to(peer, api);
             }
+        }
+        if self.cfg.relay.enabled() {
+            self.relay_tick(api);
         }
         if self.cfg.advertise_on_all_techs {
             return; // SA paradigm: everything is always engaged

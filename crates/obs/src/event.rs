@@ -143,6 +143,46 @@ pub enum EventKind {
         /// The node (`DeviceId.0`).
         node: u64,
     },
+    /// A custodian forwarded a relayed frame to its next hop.
+    DataRelayed {
+        /// Technology label that carried the forwarded copy.
+        tech: &'static str,
+        /// `omni_address` of the next-hop peer the copy was handed to.
+        peer: u64,
+        /// Hop count stamped on the forwarded copy (1 = first relay hop).
+        hops: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
+    },
+    /// A relayed frame entered this node's bounded custody store to await a
+    /// next hop (not lost: the custodian carries it).
+    DataCustody {
+        /// `omni_address` of the frame's final destination.
+        peer: u64,
+        /// Remaining TTL at the time custody was taken.
+        ttl: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
+    },
+    /// The relay seen-set suppressed a duplicate copy of a frame this node
+    /// had already handled.
+    DataDeduped {
+        /// `omni_address` of the frame's origin (`source` field of the
+        /// duplicate copy).
+        peer: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
+    },
+    /// A relayed frame's TTL reached zero before its destination and the
+    /// frame was discarded.
+    TtlExpired {
+        /// `omni_address` of the final destination the frame never reached.
+        peer: u64,
+        /// Hop count at the point of expiry.
+        hops: u64,
+        /// Causal trace ID of the transfer (zero when untraced).
+        trace: u64,
+    },
     /// The health monitor moved between fleet health states.  Recorded with
     /// the fleet-scope node id (`u32::MAX`) — health is derived from
     /// fleet-wide windowed series, not from any single device.
@@ -178,6 +218,10 @@ impl EventKind {
             EventKind::DataFailedOver { .. } => "DataFailedOver",
             EventKind::SendExhausted { .. } => "SendExhausted",
             EventKind::FrameDropped { .. } => "FrameDropped",
+            EventKind::DataRelayed { .. } => "DataRelayed",
+            EventKind::DataCustody { .. } => "DataCustody",
+            EventKind::DataDeduped { .. } => "DataDeduped",
+            EventKind::TtlExpired { .. } => "TtlExpired",
             EventKind::LinkPartitioned { .. } => "LinkPartitioned",
             EventKind::NodeDown { .. } => "NodeDown",
             EventKind::HealthTransition { .. } => "HealthTransition",
@@ -195,7 +239,11 @@ impl EventKind {
             | EventKind::DataRetried { trace, .. }
             | EventKind::DataFailedOver { trace, .. }
             | EventKind::SendExhausted { trace, .. }
-            | EventKind::FrameDropped { trace, .. } => (*trace != 0).then_some(*trace),
+            | EventKind::FrameDropped { trace, .. }
+            | EventKind::DataRelayed { trace, .. }
+            | EventKind::DataCustody { trace, .. }
+            | EventKind::DataDeduped { trace, .. }
+            | EventKind::TtlExpired { trace, .. } => (*trace != 0).then_some(*trace),
             _ => None,
         }
     }
@@ -344,6 +392,13 @@ mod tests {
             EventKind::FrameDropped { tech: "ble", cause: "frame-loss", trace: 2 }.name(),
             "FrameDropped"
         );
+        assert_eq!(
+            EventKind::DataRelayed { tech: "ble-beacon", peer: 3, hops: 1, trace: 2 }.name(),
+            "DataRelayed"
+        );
+        assert_eq!(EventKind::DataCustody { peer: 3, ttl: 4, trace: 2 }.name(), "DataCustody");
+        assert_eq!(EventKind::DataDeduped { peer: 3, trace: 2 }.name(), "DataDeduped");
+        assert_eq!(EventKind::TtlExpired { peer: 3, hops: 6, trace: 2 }.name(), "TtlExpired");
         assert_eq!(EventKind::LinkPartitioned { a: 0, b: 1 }.name(), "LinkPartitioned");
         assert_eq!(EventKind::NodeDown { node: 0 }.name(), "NodeDown");
         assert_eq!(

@@ -199,6 +199,22 @@ pub fn event_json(e: &Event) -> String {
                 json_str(cause)
             );
         }
+        EventKind::DataRelayed { tech, peer, hops, trace } => {
+            let _ = write!(
+                out,
+                ", \"tech\": {}, \"peer\": {peer}, \"hops\": {hops}, \"trace\": {trace}",
+                json_str(tech)
+            );
+        }
+        EventKind::DataCustody { peer, ttl, trace } => {
+            let _ = write!(out, ", \"peer\": {peer}, \"ttl\": {ttl}, \"trace\": {trace}");
+        }
+        EventKind::DataDeduped { peer, trace } => {
+            let _ = write!(out, ", \"peer\": {peer}, \"trace\": {trace}");
+        }
+        EventKind::TtlExpired { peer, hops, trace } => {
+            let _ = write!(out, ", \"peer\": {peer}, \"hops\": {hops}, \"trace\": {trace}");
+        }
         EventKind::LinkPartitioned { a, b } => {
             let _ = write!(out, ", \"a\": {a}, \"b\": {b}");
         }
@@ -403,5 +419,29 @@ mod tests {
         let exhausted =
             Event { t_us: 3, node: 0, kind: EventKind::SendExhausted { peer: 4, trace: 11 } };
         assert!(event_json(&exhausted).contains("\"kind\": \"SendExhausted\""));
+    }
+
+    #[test]
+    fn event_json_covers_relay_events() {
+        let relayed = Event {
+            t_us: 1,
+            node: 1,
+            kind: EventKind::DataRelayed { tech: "ble-beacon", peer: 2, hops: 3, trace: 9 },
+        };
+        let j = event_json(&relayed);
+        assert!(j.contains("\"kind\": \"DataRelayed\""));
+        assert!(j.contains("\"hops\": 3"));
+        assert!(j.contains("\"trace\": 9"));
+        let custody =
+            Event { t_us: 2, node: 1, kind: EventKind::DataCustody { peer: 2, ttl: 5, trace: 9 } };
+        assert!(event_json(&custody).contains("\"ttl\": 5"));
+        let deduped =
+            Event { t_us: 3, node: 1, kind: EventKind::DataDeduped { peer: 2, trace: 9 } };
+        assert!(event_json(&deduped).contains("\"kind\": \"DataDeduped\""));
+        let expired =
+            Event { t_us: 4, node: 1, kind: EventKind::TtlExpired { peer: 2, hops: 8, trace: 9 } };
+        let j = event_json(&expired);
+        assert!(j.contains("\"kind\": \"TtlExpired\""));
+        assert!(j.contains("\"hops\": 8"));
     }
 }

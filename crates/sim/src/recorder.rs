@@ -31,6 +31,11 @@ pub enum TraceOutcome {
     Exhausted,
     /// The send failed without entering the retry loop (`DataFailed` only).
     Failed,
+    /// The frame is riding the relay layer (`DataCustody` / `DataRelayed`
+    /// observed) and no terminal event has landed: some node still holds a
+    /// copy in custody, so the transfer is in flight — not lost — even if
+    /// individual hop attempts failed along the way.
+    InCustody,
     /// No terminal event — the run ended with the transfer still in flight.
     InFlight,
 }
@@ -54,21 +59,31 @@ pub struct TraceTimeline {
 impl TraceTimeline {
     /// The transfer's terminal outcome (delivery wins over exhaustion: a
     /// retransmit may land after the sender has already given up).
+    ///
+    /// Custody hops count as *in flight, not lost*: a relayed trace with
+    /// `DataCustody` / `DataRelayed` events is [`TraceOutcome::InCustody`]
+    /// even when individual hop attempts left `DataFailed` behind, because
+    /// the relay layer absorbs hop failures while some node still carries
+    /// the frame. Only the origin's `SendExhausted` (custody expiry) is
+    /// terminal for a relayed transfer.
     pub fn outcome(&self) -> TraceOutcome {
         let mut exhausted = false;
         let mut failed = false;
+        let mut custody = false;
         for e in &self.events {
             match e.kind {
                 EventKind::DataDelivered { .. } => return TraceOutcome::Delivered,
                 EventKind::SendExhausted { .. } => exhausted = true,
                 EventKind::DataFailed { .. } => failed = true,
+                EventKind::DataCustody { .. } | EventKind::DataRelayed { .. } => custody = true,
                 _ => {}
             }
         }
-        match (exhausted, failed) {
-            (true, _) => TraceOutcome::Exhausted,
-            (false, true) => TraceOutcome::Failed,
-            (false, false) => TraceOutcome::InFlight,
+        match (exhausted, custody, failed) {
+            (true, _, _) => TraceOutcome::Exhausted,
+            (false, true, _) => TraceOutcome::InCustody,
+            (false, false, true) => TraceOutcome::Failed,
+            (false, false, false) => TraceOutcome::InFlight,
         }
     }
 
@@ -76,7 +91,7 @@ impl TraceTimeline {
     /// terminal status, and it starts at the beginning — either the enqueue,
     /// or (for sends rejected before queuing) the terminal event itself.
     pub fn is_complete(&self) -> bool {
-        if self.outcome() == TraceOutcome::InFlight {
+        if matches!(self.outcome(), TraceOutcome::InFlight | TraceOutcome::InCustody) {
             return false;
         }
         matches!(
@@ -263,6 +278,49 @@ mod tests {
         assert!(!traces[1].is_complete(), "timeline missing its enqueue is incomplete");
         assert_eq!(traces[2].outcome(), TraceOutcome::Failed);
         assert!(traces[2].is_complete(), "early rejection tells the whole story");
+    }
+
+    #[test]
+    fn custody_hops_count_as_in_flight_not_lost() {
+        // Regression: 3-node chain A(0) → B(1) → C(2), A sends to C. A hands
+        // the frame to B (custody hop), then a partition opens between B and
+        // C and B's forward attempt dies. Before the custody-aware outcome,
+        // the hop's DataFailed classified the trace as Failed — a lost
+        // transfer — even though B still holds the frame and will re-offer
+        // it when the partition heals.
+        let rec = recorder(&[
+            ev(10, 0, EventKind::DataEnqueued { tech: "none", bytes: 8, trace: 5 }),
+            ev(12, 0, EventKind::DataRelayed { tech: "ble-beacon", peer: 2, hops: 1, trace: 5 }),
+            ev(12, 1, EventKind::DataCustody { peer: 1, ttl: 6, trace: 5 }),
+            ev(14, 1, EventKind::FrameDropped { tech: "ble-beacon", cause: "partition", trace: 5 }),
+            ev(15, 1, EventKind::DataFailed { tech: "ble-beacon", trace: 5 }),
+        ]);
+        let traces = rec.traces();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.outcome(), TraceOutcome::InCustody, "custody hop is in flight, not lost");
+        assert!(!t.is_complete(), "the run ended mid-relay: the story is unfinished");
+        assert_eq!(t.drops, [("ble-beacon", "partition")], "the drop is still attributed");
+
+        // Once the partition heals and the frame reaches C, delivery wins.
+        let rec = recorder(&[
+            ev(10, 0, EventKind::DataEnqueued { tech: "none", bytes: 8, trace: 5 }),
+            ev(12, 1, EventKind::DataCustody { peer: 1, ttl: 6, trace: 5 }),
+            ev(15, 1, EventKind::DataFailed { tech: "ble-beacon", trace: 5 }),
+            ev(40, 2, EventKind::DataDelivered { peer: 77, bytes: 8, trace: 5 }),
+        ]);
+        assert_eq!(rec.traces()[0].outcome(), TraceOutcome::Delivered);
+        assert!(rec.traces()[0].is_complete());
+
+        // And when the origin's custody expires, SendExhausted is terminal.
+        let rec = recorder(&[
+            ev(10, 0, EventKind::DataEnqueued { tech: "none", bytes: 8, trace: 5 }),
+            ev(12, 1, EventKind::DataCustody { peer: 1, ttl: 6, trace: 5 }),
+            ev(99, 0, EventKind::TtlExpired { peer: 2, hops: 0, trace: 5 }),
+            ev(99, 0, EventKind::SendExhausted { peer: 2, trace: 5 }),
+        ]);
+        assert_eq!(rec.traces()[0].outcome(), TraceOutcome::Exhausted);
+        assert!(rec.traces()[0].is_complete());
     }
 
     #[test]

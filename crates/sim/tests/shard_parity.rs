@@ -17,7 +17,11 @@
 //! fan-out plans go stale and the epoch-invalidation path is exercised,
 //! not just the happy path.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use bytes::Bytes;
+use omni_core::{OmniBuilder, OmniConfig, OmniStack, RelayPolicy};
 use omni_obs::{event_json, Obs};
 use omni_sim::{
     ChurnWindow, Command, DeviceCaps, FaultConfig, FlightRecorder, LinkPartition, NodeApi,
@@ -252,6 +256,182 @@ proptest! {
             prop_assert_eq!(oracle.frames_dropped, sharded.frames_dropped);
             prop_assert_eq!(oracle.final_t_us, sharded.final_t_us);
         }
+    }
+}
+
+/// One randomized relay scenario: forwarding strategy + faults over a
+/// sparse BLE chain no single hop can cross.
+#[derive(Clone, Debug)]
+struct RelayScenario {
+    seed: u64,
+    nodes: usize,
+    strategy: u8,
+    ble_loss: f64,
+    partition: bool,
+    churn: bool,
+    mobile: bool,
+}
+
+fn relay_scenario() -> impl Strategy<Value = RelayScenario> {
+    (any::<u64>(), 4usize..=6, 0u8..3, 0.0f64..0.3, any::<bool>(), any::<bool>(), any::<bool>())
+        .prop_map(|(seed, nodes, strategy, ble_loss, partition, churn, mobile)| RelayScenario {
+            seed,
+            nodes,
+            strategy,
+            ble_loss,
+            partition,
+            churn,
+            mobile,
+        })
+}
+
+/// Runs a relay-enabled Omni fleet — custody stores, seen-sets, PRoPHET
+/// summaries and all — through the sharded tick loop. The chain pitch
+/// (25 m vs. the 30 m BLE range) forces every delivery through the staged
+/// commit phase's relay path, proving it relay-safe.
+fn run_relay(sc: &RelayScenario, shards: usize) -> Artifacts {
+    let faults = FaultConfig {
+        ble_loss: sc.ble_loss,
+        partitions: if sc.partition {
+            vec![LinkPartition::new(1, 2, SimTime::from_secs(6), SimTime::from_secs(12))]
+        } else {
+            Vec::new()
+        },
+        churn: if sc.churn {
+            vec![ChurnWindow {
+                dev: 2,
+                down_at: SimTime::from_secs(8),
+                up_at: SimTime::from_secs(13),
+            }]
+        } else {
+            Vec::new()
+        },
+        ..Default::default()
+    };
+    let mut sim = Runner::new(SimConfig { seed: sc.seed, faults, ..Default::default() });
+    sim.trace_mut().set_enabled(false);
+    sim.set_shards(shards);
+    let obs = Obs::new();
+    sim.set_obs(obs.clone());
+    sim.enable_sampler(SamplerConfig::default());
+
+    let policy = match sc.strategy {
+        0 => RelayPolicy::epidemic(),
+        1 => RelayPolicy::prophet(),
+        _ => RelayPolicy::spray(4),
+    };
+    let cfg = OmniConfig { relay: policy, ..Default::default() };
+    let devs: Vec<_> = (0..sc.nodes)
+        .map(|i| sim.add_device(DeviceCaps::PI, Position::new(i as f64 * 25.0, 0.0)))
+        .collect();
+    let dest = OmniBuilder::omni_address(&sim, devs[sc.nodes - 1]);
+    let heard: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+    for (i, &dev) in devs.iter().enumerate() {
+        let mgr =
+            OmniBuilder::new().with_ble().with_config(cfg.clone()).with_obs(&obs).build(&sim, dev);
+        if i == 0 {
+            sim.set_stack(
+                dev,
+                Box::new(OmniStack::new(mgr, move |omni| {
+                    omni.request_timers(Box::new(move |token, o| {
+                        o.send_data(
+                            vec![dest],
+                            Bytes::from(vec![token as u8]),
+                            Box::new(|_, _, _| {}),
+                        );
+                    }));
+                    for m in 0..4u64 {
+                        omni.set_timer(m + 1, SimDuration::from_millis(2_000 + 500 * m));
+                    }
+                })),
+            );
+        } else {
+            let h = heard.clone();
+            sim.set_stack(
+                dev,
+                Box::new(OmniStack::new(mgr, move |omni| {
+                    omni.request_data(Box::new(move |_, _, _| *h.borrow_mut() += 1));
+                })),
+            );
+        }
+    }
+    if sc.mobile {
+        // A walker drifting off the chain mid-run strands staged relay
+        // fan-out plans, exercising epoch invalidation under custody.
+        sim.schedule_walk(devs[1], SimTime::from_secs(7), Position::new(25.0, 40.0), 1.5);
+    }
+    sim.run_until(SimTime::from_secs(20));
+
+    let snapshot = obs.snapshot();
+    let heard_total = *heard.borrow();
+    Artifacts {
+        sampler_jsonl: sim.sampler().map(|s| s.to_jsonl().to_string()).unwrap_or_default(),
+        event_ring: obs.events().iter().map(event_json).collect(),
+        recorder_dump: FlightRecorder::from_obs(&obs).to_jsonl(),
+        counters: snapshot.metrics.counters,
+        heard_total,
+        fault_draws: sim.fault_rng_draws(),
+        frames_dropped: sim.fault_frames_dropped(),
+        final_t_us: sim.now().as_micros(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Relay-enabled runs (ISSUE 8, satellite 2): custody pumps, seen-set
+    /// dedup, and strategy decisions must all replay byte-identically at
+    /// shards {2, 4} against the single-threaded oracle.
+    #[test]
+    fn relay_runs_are_byte_identical_across_shard_counts(sc in relay_scenario()) {
+        let oracle = run_relay(&sc, 1);
+        for shards in [2usize, 4] {
+            let sharded = run_relay(&sc, shards);
+            prop_assert_eq!(
+                &oracle.sampler_jsonl, &sharded.sampler_jsonl,
+                "sampler JSONL diverged at {} shards", shards
+            );
+            prop_assert_eq!(
+                &oracle.recorder_dump, &sharded.recorder_dump,
+                "flight-recorder dump diverged at {} shards", shards
+            );
+            prop_assert_eq!(
+                &oracle.event_ring, &sharded.event_ring,
+                "event ring diverged at {} shards", shards
+            );
+            prop_assert_eq!(
+                &oracle.counters, &sharded.counters,
+                "counter registry diverged at {} shards", shards
+            );
+            prop_assert_eq!(oracle.fault_draws, sharded.fault_draws);
+            prop_assert_eq!(oracle.heard_total, sharded.heard_total);
+            prop_assert_eq!(oracle.final_t_us, sharded.final_t_us);
+        }
+    }
+}
+
+/// Deterministic relay parity spot-check: a faulty 5-node epidemic chain
+/// that must actually deliver multi-hop, byte-identical at shards {1, 2, 4}.
+#[test]
+fn relay_chain_parity_at_fixed_seed() {
+    let sc = RelayScenario {
+        seed: 8,
+        nodes: 5,
+        strategy: 0,
+        ble_loss: 0.15,
+        partition: true,
+        churn: true,
+        mobile: true,
+    };
+    let oracle = run_relay(&sc, 1);
+    assert!(!oracle.sampler_jsonl.is_empty());
+    assert!(
+        oracle.recorder_dump.contains("DataRelayed"),
+        "the scenario must exercise the relay path"
+    );
+    for shards in [2usize, 4] {
+        let sharded = run_relay(&sc, shards);
+        assert_eq!(oracle, sharded, "relay run diverged at {shards} shards");
     }
 }
 

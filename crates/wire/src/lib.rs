@@ -19,6 +19,9 @@
 //! * [`TraceId`] — the deterministic 64-bit causal trace identifier carried
 //!   in traced frame headers (DESIGN.md §5e), plus the [`frame`] module with
 //!   the directed/acked/ack frame shapes of the reliable data path.
+//! * [`RelayHeader`] — the optional multi-hop store-carry-forward header
+//!   (final destination, TTL, hop count, spray copy budget) flagged by the
+//!   [`RELAY_FLAG`] kind bit (DESIGN.md §5h).
 //!
 //! # Example
 //!
@@ -56,8 +59,8 @@ pub use address::{BleAddress, MeshAddress, NfcAddress, OmniAddress};
 pub use error::WireError;
 pub use kind::ContentKind;
 pub use packed::{
-    AddressBeaconPayload, PackedStruct, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN, TRACE_FLAG,
-    TRACE_LEN,
+    AddressBeaconPayload, PackedStruct, RelayHeader, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN,
+    KIND_MASK, RELAY_FLAG, RELAY_LEN, TRACE_FLAG, TRACE_LEN,
 };
 pub use status::{ResponseInfo, StatusCode};
 pub use tech::TechType;

@@ -16,12 +16,24 @@ use crate::{BleAddress, ContentKind, MeshAddress, OmniAddress, TraceId, WireErro
 pub const HEADER_LEN: usize = 9;
 
 /// High bit of the kind byte: set when an 8-byte [`TraceId`] follows the
-/// fixed header. The low 7 bits remain the [`ContentKind`] byte, so untraced
+/// fixed header. The low 6 bits remain the [`ContentKind`] byte, so untraced
 /// frames are bit-identical to the pre-tracing wire format.
 pub const TRACE_FLAG: u8 = 0x80;
 
 /// Extra bytes a traced frame carries after the fixed header.
 pub const TRACE_LEN: usize = 8;
+
+/// Second-highest bit of the kind byte: set when an 11-byte [`RelayHeader`]
+/// follows the (optional) trace field. Non-relayed frames never set it, so
+/// the legacy layout is untouched (DESIGN.md §5h).
+pub const RELAY_FLAG: u8 = 0x40;
+
+/// Mask extracting the [`ContentKind`] bits from a flagged kind byte.
+pub const KIND_MASK: u8 = 0x3f;
+
+/// Extra bytes a relayed frame carries: 8 destination + 1 TTL + 1 hop count
+/// + 1 spray copy budget.
+pub const RELAY_LEN: usize = 11;
 
 /// Address beacon payload length: 8 bytes WiFi-Mesh address + 6 bytes BLE
 /// address.
@@ -47,17 +59,98 @@ pub struct PackedStruct {
     /// (address beacons). Encoded as 8 extra bytes after the header, flagged
     /// by [`TRACE_FLAG`] in the kind byte; `None` keeps the legacy layout.
     pub trace: Option<TraceId>,
+    /// Optional multi-hop relay header (final destination, TTL, hop count,
+    /// and spray copy budget). Encoded as [`RELAY_LEN`] extra bytes after
+    /// the trace field, flagged by [`RELAY_FLAG`] in the kind byte; `None`
+    /// keeps the single-hop layout.
+    pub relay: Option<RelayHeader>,
+}
+
+/// The fixed-size relay header a store-carry-forward frame carries
+/// (DESIGN.md §5h): who the frame is ultimately for, how many more hops it
+/// may take, how many it has taken, and how many spray copies remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelayHeader {
+    /// Final destination `omni_address` — distinct from the link-layer
+    /// directed-frame destination, which is just the next hop.
+    pub dest: OmniAddress,
+    /// Remaining hop budget. A custodian never forwards a frame whose TTL
+    /// has reached zero; the origin stamps the initial budget.
+    pub ttl: u8,
+    /// Hops taken so far. Incremented by each forwarding custodian, so
+    /// recorder timelines can order hops even under clock-identical events.
+    pub hops: u8,
+    /// Spray-and-wait copy budget carried with the frame. Epidemic and
+    /// PRoPHET strategies ignore it and carry 0.
+    pub copies: u8,
+}
+
+impl RelayHeader {
+    /// Builds a fresh header at the origin: full TTL, zero hops.
+    pub const fn new(dest: OmniAddress, ttl: u8) -> Self {
+        RelayHeader { dest, ttl, hops: 0, copies: 0 }
+    }
+
+    /// Sets the spray-and-wait copy budget.
+    #[must_use]
+    pub const fn with_copies(mut self, copies: u8) -> Self {
+        self.copies = copies;
+        self
+    }
+
+    /// The header a custodian stamps on the copy it forwards: one less TTL,
+    /// one more hop. Saturates rather than wrapping; callers must check
+    /// [`RelayHeader::ttl`] before forwarding.
+    #[must_use]
+    pub const fn next_hop(self) -> Self {
+        RelayHeader {
+            dest: self.dest,
+            ttl: self.ttl.saturating_sub(1),
+            hops: self.hops.saturating_add(1),
+            copies: self.copies,
+        }
+    }
+
+    fn put(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.dest.to_bytes());
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.hops);
+        buf.put_u8(self.copies);
+    }
+
+    fn read(bytes: &[u8]) -> Self {
+        let mut dest = [0u8; 8];
+        dest.copy_from_slice(&bytes[..8]);
+        RelayHeader {
+            dest: OmniAddress::from_bytes(dest),
+            ttl: bytes[8],
+            hops: bytes[9],
+            copies: bytes[10],
+        }
+    }
 }
 
 impl PackedStruct {
     /// Builds a context transmission.
     pub fn context(source: OmniAddress, payload: impl Into<Bytes>) -> Self {
-        PackedStruct { kind: ContentKind::Context, source, payload: payload.into(), trace: None }
+        PackedStruct {
+            kind: ContentKind::Context,
+            source,
+            payload: payload.into(),
+            trace: None,
+            relay: None,
+        }
     }
 
     /// Builds a data transmission.
     pub fn data(source: OmniAddress, payload: impl Into<Bytes>) -> Self {
-        PackedStruct { kind: ContentKind::Data, source, payload: payload.into(), trace: None }
+        PackedStruct {
+            kind: ContentKind::Data,
+            source,
+            payload: payload.into(),
+            trace: None,
+            relay: None,
+        }
     }
 
     /// Builds an address beacon carrying the sender's low-level addresses.
@@ -67,6 +160,7 @@ impl PackedStruct {
             source,
             payload: beacon.encode(),
             trace: None,
+            relay: None,
         }
     }
 
@@ -78,24 +172,38 @@ impl PackedStruct {
         self
     }
 
+    /// Stamps a multi-hop relay header onto this transmission.
+    #[must_use]
+    pub fn with_relay(mut self, relay: RelayHeader) -> Self {
+        self.relay = Some(relay);
+        self
+    }
+
     /// Total encoded length in bytes.
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + if self.trace.is_some() { TRACE_LEN } else { 0 } + self.payload.len()
+        HEADER_LEN
+            + if self.trace.is_some() { TRACE_LEN } else { 0 }
+            + if self.relay.is_some() { RELAY_LEN } else { 0 }
+            + self.payload.len()
     }
 
     /// Encodes to the tightly packed wire form.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
-        match self.trace {
-            Some(t) => {
-                buf.put_u8(self.kind.as_byte() | TRACE_FLAG);
-                buf.put_slice(&self.source.to_bytes());
-                buf.put_u64(t.as_u64());
-            }
-            None => {
-                buf.put_u8(self.kind.as_byte());
-                buf.put_slice(&self.source.to_bytes());
-            }
+        let mut kind = self.kind.as_byte();
+        if self.trace.is_some() {
+            kind |= TRACE_FLAG;
+        }
+        if self.relay.is_some() {
+            kind |= RELAY_FLAG;
+        }
+        buf.put_u8(kind);
+        buf.put_slice(&self.source.to_bytes());
+        if let Some(t) = self.trace {
+            buf.put_u64(t.as_u64());
+        }
+        if let Some(r) = &self.relay {
+            r.put(&mut buf);
         }
         buf.put_slice(&self.payload);
         buf.freeze()
@@ -106,18 +214,20 @@ impl PackedStruct {
     /// # Errors
     ///
     /// Returns [`WireError::Truncated`] if fewer than [`HEADER_LEN`] bytes are
-    /// present (or fewer than `HEADER_LEN + TRACE_LEN` when the kind byte
-    /// carries [`TRACE_FLAG`]), or [`WireError::UnknownKind`] for an
-    /// unrecognized kind byte.
+    /// present (or fewer than the header plus [`TRACE_LEN`] /
+    /// [`RELAY_LEN`] when the kind byte carries [`TRACE_FLAG`] /
+    /// [`RELAY_FLAG`]), or [`WireError::UnknownKind`] for an unrecognized
+    /// kind byte.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         if bytes.len() < HEADER_LEN {
             return Err(WireError::Truncated { needed: HEADER_LEN, got: bytes.len() });
         }
         let traced = bytes[0] & TRACE_FLAG != 0;
-        let kind = ContentKind::from_byte(bytes[0] & !TRACE_FLAG)?;
+        let relayed = bytes[0] & RELAY_FLAG != 0;
+        let kind = ContentKind::from_byte(bytes[0] & KIND_MASK)?;
         let mut addr = [0u8; 8];
         addr.copy_from_slice(&bytes[1..9]);
-        let (trace, body) = if traced {
+        let (trace, mut body) = if traced {
             if bytes.len() < HEADER_LEN + TRACE_LEN {
                 return Err(WireError::Truncated {
                     needed: HEADER_LEN + TRACE_LEN,
@@ -133,11 +243,22 @@ impl PackedStruct {
         } else {
             (None, HEADER_LEN)
         };
+        let relay = if relayed {
+            if bytes.len() < body + RELAY_LEN {
+                return Err(WireError::Truncated { needed: body + RELAY_LEN, got: bytes.len() });
+            }
+            let header = RelayHeader::read(&bytes[body..body + RELAY_LEN]);
+            body += RELAY_LEN;
+            Some(header)
+        } else {
+            None
+        };
         Ok(PackedStruct {
             kind,
             source: OmniAddress::from_bytes(addr),
             payload: Bytes::copy_from_slice(&bytes[body..]),
             trace,
+            relay,
         })
     }
 
@@ -153,6 +274,22 @@ impl PackedStruct {
         let mut raw = [0u8; 8];
         raw.copy_from_slice(&bytes[HEADER_LEN..HEADER_LEN + TRACE_LEN]);
         TraceId::from_u64(u64::from_be_bytes(raw))
+    }
+
+    /// Reads the relay header out of an encoded frame without a full decode.
+    ///
+    /// Returns `None` for non-relayed or truncated frames. Used by the
+    /// simulator's drop sites to attribute killed relay frames to their
+    /// final destination and hop count without paying for payload copies.
+    pub fn peek_relay(bytes: &[u8]) -> Option<RelayHeader> {
+        if bytes.is_empty() || bytes[0] & RELAY_FLAG == 0 {
+            return None;
+        }
+        let at = HEADER_LEN + if bytes[0] & TRACE_FLAG != 0 { TRACE_LEN } else { 0 };
+        if bytes.len() < at + RELAY_LEN {
+            return None;
+        }
+        Some(RelayHeader::read(&bytes[at..at + RELAY_LEN]))
     }
 
     /// Decodes the payload as an address beacon.

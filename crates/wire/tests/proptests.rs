@@ -2,8 +2,8 @@
 
 use bytes::Bytes;
 use omni_wire::{
-    AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct, TraceId,
-    WireError, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN, TRACE_LEN,
+    AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
+    RelayHeader, TraceId, WireError, ADDRESS_BEACON_PAYLOAD_LEN, HEADER_LEN, RELAY_LEN, TRACE_LEN,
 };
 use proptest::prelude::*;
 
@@ -23,13 +23,31 @@ fn arb_trace() -> impl Strategy<Value = Option<TraceId>> {
     ]
 }
 
+fn arb_relay() -> impl Strategy<Value = Option<RelayHeader>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(dest, ttl, hops, copies)| {
+                Some(RelayHeader { dest: OmniAddress::from_u64(dest), ttl, hops, copies })
+            }
+        ),
+    ]
+}
+
 fn arb_packed() -> impl Strategy<Value = PackedStruct> {
-    (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512), arb_trace())
-        .prop_map(|(kind, addr, payload, trace)| PackedStruct {
+    (
+        arb_kind(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..512),
+        arb_trace(),
+        arb_relay(),
+    )
+        .prop_map(|(kind, addr, payload, trace, relay)| PackedStruct {
             kind,
             source: OmniAddress::from_u64(addr),
             payload: Bytes::from(payload),
             trace,
+            relay,
         })
 }
 
@@ -41,12 +59,13 @@ proptest! {
         prop_assert_eq!(decoded, p);
     }
 
-    /// Encoded length is always header (+ trace when stamped) + payload,
-    /// with no padding.
+    /// Encoded length is always header (+ trace and relay when stamped) +
+    /// payload, with no padding.
     #[test]
     fn encoded_len_is_exact(p in arb_packed()) {
         let trace_len = if p.trace.is_some() { TRACE_LEN } else { 0 };
-        prop_assert_eq!(p.encode().len(), HEADER_LEN + trace_len + p.payload.len());
+        let relay_len = if p.relay.is_some() { RELAY_LEN } else { 0 };
+        prop_assert_eq!(p.encode().len(), HEADER_LEN + trace_len + relay_len + p.payload.len());
         prop_assert_eq!(p.encoded_len(), p.encode().len());
     }
 
@@ -71,20 +90,28 @@ proptest! {
             }
             Err(WireError::Truncated { needed, got }) => {
                 prop_assert!(got < needed);
-                prop_assert!(needed == HEADER_LEN || needed == HEADER_LEN + TRACE_LEN);
+                prop_assert!(
+                    needed == HEADER_LEN
+                        || needed == HEADER_LEN + TRACE_LEN
+                        || needed == HEADER_LEN + RELAY_LEN
+                        || needed == HEADER_LEN + TRACE_LEN + RELAY_LEN
+                );
             }
-            Err(WireError::UnknownKind(k)) => prop_assert!(k > 2),
+            Err(WireError::UnknownKind(k)) => prop_assert!(k > 2 && k <= 0x3f),
             Err(e) => prop_assert!(false, "unexpected error {e}"),
         }
     }
 
-    /// The flag-bit layout: a stamped trace always roundtrips through encode
-    /// and through the cheap header peek.
+    /// The flag-bit layout: stamped trace and relay headers always roundtrip
+    /// through encode and through the cheap header peeks.
     #[test]
     fn trace_roundtrips_and_peeks(p in arb_packed()) {
         let wire = p.encode();
         prop_assert_eq!(PackedStruct::peek_trace(&wire), p.trace);
-        prop_assert_eq!(PackedStruct::decode(&wire).unwrap().trace, p.trace);
+        prop_assert_eq!(PackedStruct::peek_relay(&wire), p.relay);
+        let decoded = PackedStruct::decode(&wire).unwrap();
+        prop_assert_eq!(decoded.trace, p.trace);
+        prop_assert_eq!(decoded.relay, p.relay);
     }
 
     /// Address beacon payload roundtrips for any pair of (possibly absent)

@@ -33,6 +33,9 @@ cargo run --release -p omni-bench --bin trace -- --smoke
 echo "== telemetry smoke (fault-window reconstruction from series) =="
 cargo run --release -p omni-bench --bin telemetry -- --smoke
 
+echo "== relay smoke (sparse-chain delivery floor, shard parity) =="
+cargo run --release -p omni-bench --bin relay -- --smoke
+
 echo "== bench baseline gate (drift vs committed BENCH_*.json) =="
 scripts/bench_baseline.sh --smoke
 
