@@ -1,9 +1,11 @@
 //! Microbenchmarks for the wire codec — the hot path of every transmission.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use omni_core::ControlFrame;
-use omni_wire::{AddressBeaconPayload, BleAddress, MeshAddress, OmniAddress, PackedStruct};
+use omni_wire::{
+    AddressBeaconPayload, BleAddress, MeshAddress, OmniAddress, PackedStruct, PackedView,
+};
 
 fn bench_codec(c: &mut Criterion) {
     let addr = OmniAddress::from_u64(0x0123_4567_89ab_cdef);
@@ -20,11 +22,28 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("packed_decode_beacon", |b| {
         b.iter(|| PackedStruct::decode(black_box(&encoded)).unwrap());
     });
+    c.bench_function("packed_view_parse_beacon", |b| {
+        b.iter(|| PackedView::parse(black_box(&encoded[..])).unwrap().source());
+    });
+    c.bench_function("packed_decode_shared_beacon", |b| {
+        b.iter(|| PackedStruct::decode_shared(black_box(&encoded)).unwrap());
+    });
+    let mut scratch = BytesMut::with_capacity(encoded.len());
+    c.bench_function("packed_encode_into_beacon", |b| {
+        b.iter(|| {
+            scratch.clear();
+            black_box(&packed).encode_into(&mut scratch);
+            scratch.len()
+        });
+    });
 
     let ctx = PackedStruct::context(addr, Bytes::from_static(b"svc:interaction-advert"));
     let ctx_encoded = ctx.encode();
     c.bench_function("packed_decode_context", |b| {
         b.iter(|| PackedStruct::decode(black_box(&ctx_encoded)).unwrap());
+    });
+    c.bench_function("packed_decode_shared_context", |b| {
+        b.iter(|| PackedStruct::decode_shared(black_box(&ctx_encoded)).unwrap());
     });
 
     // Consolidated multicast beacon: address beacon + three context packs.

@@ -90,6 +90,17 @@ const SPEEDUP_MIN_CORES: usize = 4;
 /// The floor itself: sharded ticks/sec over oracle ticks/sec at 10k nodes.
 const SPEEDUP_FLOOR: f64 = 3.0;
 
+/// Steady-state allocation ceilings for the smoke gate, in allocs/tick.
+///
+/// The zero-copy wire path (shared `Bytes` payloads, pooled encode scratch,
+/// recycled fan-out plans — DESIGN.md §5i) measures 0 allocs/tick at both
+/// cells once startup is amortized; the pre-refactor committed baseline was
+/// 50.1 at 1k nodes and 1000.2 at 10k. The ceilings leave slack for
+/// allocator noise while still catching any per-frame allocation sneaking
+/// back into the hot path.
+const ALLOC_CEILING_1K: f64 = 10.0;
+const ALLOC_CEILING_10K: f64 = 100.0;
+
 /// Measured beacon rounds per cell: big fleets run fewer so the full sweep
 /// finishes in minutes, with enough rounds left for a stable p95.
 fn ticks_for(n: usize) -> u64 {
@@ -324,6 +335,12 @@ fn main() {
             cell.mean_tick_us,
             SMOKE_BUDGET_MEAN_US
         );
+        assert!(
+            cell.allocs_per_tick <= ALLOC_CEILING_1K,
+            "1000-node cell allocates on the hot path: {:.1} allocs/tick > {ALLOC_CEILING_1K} \
+             — the zero-copy wire path regressed (DESIGN.md §5i)",
+            cell.allocs_per_tick
+        );
 
         // 10k cell: oracle vs. sharded. Parity always holds; the speedup
         // floor only applies where the host has cores to parallelize onto.
@@ -346,6 +363,12 @@ fn main() {
             "10000-node tick blew the smoke budget: mean {:.0} µs > {:.0} µs",
             oracle.mean_tick_us,
             SMOKE_BUDGET_10K_MEAN_US
+        );
+        assert!(
+            oracle.allocs_per_tick <= ALLOC_CEILING_10K,
+            "10000-node cell allocates on the hot path: {:.1} allocs/tick > {ALLOC_CEILING_10K} \
+             — the zero-copy wire path regressed (DESIGN.md §5i)",
+            oracle.allocs_per_tick
         );
         if cores >= SPEEDUP_MIN_CORES {
             assert!(

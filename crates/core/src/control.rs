@@ -8,7 +8,7 @@
 //! pays only when no low-energy discovery technology is available).
 
 use bytes::{BufMut, Bytes, BytesMut};
-use omni_wire::{MeshAddress, OmniAddress, PackedStruct, WireError};
+use omni_wire::{MeshAddress, OmniAddress, PackedStruct, PackedView, WireError};
 
 const TAG_PACKED: u8 = 0x50; // 'P'
 const TAG_RESOLVE: u8 = 0x52; // 'R'
@@ -44,39 +44,41 @@ pub enum ControlFrame {
 impl ControlFrame {
     /// Encodes the frame for multicast transport.
     pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the frame to a caller-provided (pooled) buffer. Carried
+    /// transmissions are written in place via [`PackedStruct::encode_into`]
+    /// — no per-pack intermediate allocation (DESIGN.md §5i).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             ControlFrame::Packed(p) => {
-                let inner = p.encode();
-                let mut buf = BytesMut::with_capacity(1 + inner.len());
+                buf.reserve(1 + p.encoded_len());
                 buf.put_u8(TAG_PACKED);
-                buf.put_slice(&inner);
-                buf.freeze()
+                p.encode_into(buf);
             }
             ControlFrame::Batch(packs) => {
                 assert!(packs.len() <= u8::MAX as usize, "batch too large");
-                let mut buf = BytesMut::new();
                 buf.put_u8(TAG_BATCH);
                 buf.put_u8(packs.len() as u8);
                 for p in packs {
-                    let inner = p.encode();
-                    buf.put_u16(inner.len() as u16);
-                    buf.put_slice(&inner);
+                    buf.put_u16(p.encoded_len() as u16);
+                    p.encode_into(buf);
                 }
-                buf.freeze()
             }
             ControlFrame::Resolve { target, requester } => {
-                let mut buf = BytesMut::with_capacity(17);
+                buf.reserve(17);
                 buf.put_u8(TAG_RESOLVE);
                 buf.put_slice(&target.to_bytes());
                 buf.put_slice(&requester.to_bytes());
-                buf.freeze()
             }
             ControlFrame::ResolveReply { addr, mesh } => {
-                let mut buf = BytesMut::with_capacity(17);
+                buf.reserve(17);
                 buf.put_u8(TAG_REPLY);
                 buf.put_slice(&addr.to_bytes());
                 buf.put_slice(&mesh.0);
-                buf.freeze()
             }
         }
     }
@@ -135,6 +137,46 @@ impl ControlFrame {
                 })
             }
             other => Err(WireError::UnknownKind(other)),
+        }
+    }
+
+    /// Zero-copy variant of [`ControlFrame::decode`]: carried transmissions
+    /// slice their payloads out of the shared datagram buffer instead of
+    /// copying them (DESIGN.md §5i). Control-only frames (resolve, reply)
+    /// carry no payload and delegate to the owned decoder.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`ControlFrame::decode`].
+    pub fn decode_shared(bytes: &Bytes) -> Result<Self, WireError> {
+        let buf = bytes.as_ref();
+        let (&tag, rest) = buf.split_first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+        match tag {
+            TAG_PACKED => Ok(ControlFrame::Packed(PackedView::parse(rest)?.to_shared(bytes, 1))),
+            TAG_BATCH => {
+                let (&count, mut body) =
+                    rest.split_first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+                // Byte offset of `body` within the backing buffer, so each
+                // pack's payload can slice the shared storage.
+                let mut at = 2usize;
+                let mut packs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    if body.len() < 2 {
+                        return Err(WireError::Truncated { needed: 2, got: body.len() });
+                    }
+                    let len = u16::from_be_bytes([body[0], body[1]]) as usize;
+                    body = &body[2..];
+                    at += 2;
+                    if body.len() < len {
+                        return Err(WireError::Truncated { needed: len, got: body.len() });
+                    }
+                    packs.push(PackedView::parse(&body[..len])?.to_shared(bytes, at));
+                    body = &body[len..];
+                    at += len;
+                }
+                Ok(ControlFrame::Batch(packs))
+            }
+            _ => Self::decode(buf),
         }
     }
 }

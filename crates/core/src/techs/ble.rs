@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use omni_sim::{Command, NodeApi, NodeEvent};
 use omni_wire::{BleAddress, OmniAddress, TechType};
 
@@ -17,7 +17,7 @@ use crate::queues::{
     LowAddr, ReceivedItem, ResponseOk, SendOp, SendRequest, TechFailure, TechQueues, TechResponse,
 };
 use crate::tech::D2dTechnology;
-use crate::techs::frame;
+use crate::techs::{frame, pooled};
 
 /// What a pending one-shot transmission is waiting for.
 #[derive(Debug)]
@@ -54,6 +54,10 @@ pub struct BleBeaconTech {
     enabled: bool,
     /// `tech.ble-beacon.failures` counter, when observability is attached.
     failures: Option<omni_obs::Counter>,
+    /// Reusable encode scratch: frames are written here first, so a
+    /// steady-state send pays one shared-buffer allocation for the outgoing
+    /// frame instead of one per framing layer (DESIGN.md §5i).
+    scratch: BytesMut,
 }
 
 impl BleBeaconTech {
@@ -79,6 +83,7 @@ impl BleBeaconTech {
             awaiting: HashMap::new(),
             enabled: false,
             failures: None,
+            scratch: BytesMut::new(),
         }
     }
 
@@ -118,7 +123,7 @@ impl BleBeaconTech {
                     self.fail(req.token, "context request without payload", req);
                     return;
                 };
-                let encoded = packed.encode();
+                let encoded = pooled(&mut self.scratch, |buf| packed.encode_into(buf));
                 if encoded.len() > self.max_payload {
                     self.fail(
                         req.token,
@@ -141,7 +146,7 @@ impl BleBeaconTech {
             }
             SendOp::RelayContext => {
                 if let Some(packed) = req.packed {
-                    let encoded = packed.encode();
+                    let encoded = pooled(&mut self.scratch, |buf| packed.encode_into(buf));
                     if encoded.len() <= self.max_payload {
                         api.push(Command::BleSendOneShot { payload: encoded });
                         self.inflight.push_back(OneShot::Forget);
@@ -166,11 +171,14 @@ impl BleBeaconTech {
                     self.fail(req.token, "data request without payload", req);
                     return;
                 };
-                let framed = if self.link_acks {
-                    frame::encode_acked(dest_omni, req.token, &packed)
-                } else {
-                    frame::encode_directed(dest_omni, &packed)
-                };
+                let link_acks = self.link_acks;
+                let framed = pooled(&mut self.scratch, |buf| {
+                    if link_acks {
+                        frame::encode_acked_into(dest_omni, req.token, &packed, buf);
+                    } else {
+                        frame::encode_directed_into(dest_omni, &packed, buf);
+                    }
+                });
                 if framed.len() > self.max_payload {
                     self.fail(
                         req.token,
@@ -194,7 +202,7 @@ impl BleBeaconTech {
         let Some(queues) = self.queues.as_ref() else {
             return;
         };
-        match frame::parse_for(self.own_omni, payload) {
+        match frame::parse_for_shared(self.own_omni, payload) {
             frame::Incoming::Plain(packed) => {
                 queues.receive.push(ReceivedItem {
                     tech: TechType::BleBeacon,
@@ -215,7 +223,9 @@ impl BleBeaconTech {
                     packed,
                 });
                 api.push(Command::BleSendOneShot {
-                    payload: frame::encode_ack(sender, corr, trace),
+                    payload: pooled(&mut self.scratch, |buf| {
+                        frame::encode_ack_into(sender, corr, trace, buf);
+                    }),
                 });
                 self.inflight.push_back(OneShot::Forget);
             }

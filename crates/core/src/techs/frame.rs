@@ -5,9 +5,9 @@
 //! This module keeps the historical `crate::techs::frame` paths working.
 
 pub use omni_wire::frame::{
-    decode_for, encode_ack, encode_acked, encode_directed, parse_for, Incoming, ACKED_OVERHEAD,
-    DIRECTED_OVERHEAD,
+    decode_for_shared, encode_ack_into, encode_acked_into, encode_directed_into, parse_for_shared,
+    Incoming, ACKED_OVERHEAD, DIRECTED_OVERHEAD,
 };
 
 #[cfg(test)]
-pub use omni_wire::frame::ACKED_TAG;
+pub use omni_wire::frame::{encode_ack, encode_acked, encode_directed, parse_for, ACKED_TAG};

@@ -10,3 +10,16 @@ pub use ble::BleBeaconTech;
 pub use nfc::NfcTech;
 pub use wifi_mcast::WifiMulticastTech;
 pub use wifi_tcp::WifiTcpTech;
+
+/// Encodes one frame through a technology's reusable scratch buffer: the
+/// scratch's capacity is retained across sends, so a steady-state send pays
+/// one shared-buffer allocation for the outgoing frame instead of one per
+/// framing layer (DESIGN.md §5i).
+pub(crate) fn pooled(
+    scratch: &mut bytes::BytesMut,
+    write: impl FnOnce(&mut bytes::BytesMut),
+) -> bytes::Bytes {
+    scratch.clear();
+    write(scratch);
+    bytes::Bytes::copy_from_slice(scratch)
+}

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use bytes::BytesMut;
 use omni_sim::{Command, NodeApi, NodeEvent, SimDuration};
 use omni_wire::{NfcAddress, OmniAddress, TechType};
 
@@ -15,7 +16,7 @@ use crate::queues::{
     LowAddr, ReceivedItem, ResponseOk, SendOp, SendRequest, TechFailure, TechQueues, TechResponse,
 };
 use crate::tech::D2dTechnology;
-use crate::techs::frame;
+use crate::techs::{frame, pooled};
 
 const TOKEN_CONTEXT_BASE: u64 = 0x100;
 const TOKEN_DATA_BASE: u64 = 0x1_0000_0000;
@@ -44,6 +45,8 @@ pub struct NfcTech {
     next_data_slot: u64,
     /// `tech.nfc.failures` counter, when observability is attached.
     failures: Option<omni_obs::Counter>,
+    /// Reusable encode scratch for outgoing frames (DESIGN.md §5i).
+    scratch: BytesMut,
 }
 
 impl NfcTech {
@@ -62,6 +65,7 @@ impl NfcTech {
             data_inflight: HashMap::new(),
             next_data_slot: 0,
             failures: None,
+            scratch: BytesMut::new(),
         }
     }
 
@@ -90,7 +94,7 @@ impl NfcTech {
                     self.fail("context request without payload", req);
                     return;
                 };
-                let encoded = packed.encode();
+                let encoded = pooled(&mut self.scratch, |buf| packed.encode_into(buf));
                 if encoded.len() > self.timings.nfc_max_payload {
                     self.fail("payload exceeds NFC limit", req);
                     return;
@@ -117,7 +121,7 @@ impl NfcTech {
             }
             SendOp::RelayContext => {
                 if let Some(packed) = req.packed {
-                    let encoded = packed.encode();
+                    let encoded = pooled(&mut self.scratch, |buf| packed.encode_into(buf));
                     if encoded.len() <= self.timings.nfc_max_payload {
                         api.push(Command::NfcSend { payload: encoded });
                     }
@@ -140,7 +144,9 @@ impl NfcTech {
                     self.fail("data request without payload", req);
                     return;
                 };
-                let framed = frame::encode_directed(dest_omni, &packed);
+                let framed = pooled(&mut self.scratch, |buf| {
+                    frame::encode_directed_into(dest_omni, &packed, buf);
+                });
                 if framed.len() > self.timings.nfc_max_payload {
                     self.fail("payload exceeds NFC limit", req);
                     return;
@@ -215,7 +221,7 @@ impl D2dTechnology for NfcTech {
         }
         match event {
             NodeEvent::NfcReceived { from, payload } => {
-                if let Some(packed) = frame::decode_for(self.own_omni, payload) {
+                if let Some(packed) = frame::decode_for_shared(self.own_omni, payload) {
                     self.queues.as_ref().expect("enabled").receive.push(ReceivedItem {
                         tech: TechType::Nfc,
                         source: LowAddr::Nfc(*from),

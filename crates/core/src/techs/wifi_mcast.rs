@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use bytes::{Bytes, BytesMut};
 use omni_sim::{Command, NodeApi, NodeEvent, SimDuration};
 use omni_wire::{MeshAddress, OmniAddress, PackedStruct, TechType};
 
@@ -49,6 +50,8 @@ pub struct WifiMulticastTech {
     rescan_armed: bool,
     /// `tech.wifi-multicast.failures` counter, when observability is attached.
     failures: Option<omni_obs::Counter>,
+    /// Reusable encode scratch for outgoing control frames (DESIGN.md §5i).
+    scratch: BytesMut,
 }
 
 impl WifiMulticastTech {
@@ -68,6 +71,7 @@ impl WifiMulticastTech {
             next_data_slot: 0,
             rescan_armed: false,
             failures: None,
+            scratch: BytesMut::new(),
         }
     }
 
@@ -86,8 +90,17 @@ impl WifiMulticastTech {
         self.respond(token, Err(TechFailure { description: description.into(), original }));
     }
 
-    fn send_frame(&self, frame: &ControlFrame, wire_len: u64, bulk: bool, api: &mut NodeApi<'_>) {
-        api.push(Command::WifiMcastSend { payload: frame.encode(), wire_len, bulk });
+    fn send_frame(
+        &mut self,
+        frame: &ControlFrame,
+        wire_len: u64,
+        bulk: bool,
+        api: &mut NodeApi<'_>,
+    ) {
+        self.scratch.clear();
+        frame.encode_into(&mut self.scratch);
+        let payload = Bytes::copy_from_slice(&self.scratch);
+        api.push(Command::WifiMcastSend { payload, wire_len, bulk });
     }
 
     /// The consolidated-beacon interval: the fastest of the active packs.
@@ -181,8 +194,13 @@ impl WifiMulticastTech {
             let packs: Vec<PackedStruct> =
                 ids.iter().map(|id| self.contexts[id].0.clone()).collect();
             let frame = ControlFrame::Batch(packs);
-            let wire = frame.encode().len() as u64;
-            self.send_frame(&frame, wire, false, api);
+            // One encode serves both the payload and the wire-length estimate
+            // (this used to encode the whole batch twice).
+            self.scratch.clear();
+            frame.encode_into(&mut self.scratch);
+            let payload = Bytes::copy_from_slice(&self.scratch);
+            let wire = payload.len() as u64;
+            api.push(Command::WifiMcastSend { payload, wire_len: wire, bulk: false });
         }
         api.set_timer(self.token_base + TOKEN_TICK, self.tick_interval());
     }
@@ -197,8 +215,8 @@ impl WifiMulticastTech {
         }
     }
 
-    fn on_multicast(&mut self, from: MeshAddress, payload: &[u8], api: &mut NodeApi<'_>) -> bool {
-        match ControlFrame::decode(payload) {
+    fn on_multicast(&mut self, from: MeshAddress, payload: &Bytes, api: &mut NodeApi<'_>) -> bool {
+        match ControlFrame::decode_shared(payload) {
             Ok(ControlFrame::Packed(packed)) => {
                 self.deliver(packed, from);
                 true

@@ -15,6 +15,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use bytes::BytesMut;
 use omni_sim::{Command, ConnId, NodeApi, NodeEvent};
 use omni_wire::{MeshAddress, OmniAddress, PackedStruct, TechType};
 
@@ -24,6 +25,7 @@ use crate::queues::{
     LowAddr, ReceivedItem, ResponseOk, SendOp, SendRequest, TechFailure, TechQueues, TechResponse,
 };
 use crate::tech::D2dTechnology;
+use crate::techs::pooled;
 
 const TOKEN_RESOLVE_RETRY: u64 = 1;
 
@@ -71,6 +73,8 @@ pub struct WifiTcpTech {
     establish_queue: VecDeque<SendRequest>,
     /// `tech.wifi-tcp.failures` counter, when observability is attached.
     failures: Option<omni_obs::Counter>,
+    /// Reusable encode scratch for outgoing frames (DESIGN.md §5i).
+    scratch: BytesMut,
 }
 
 impl WifiTcpTech {
@@ -91,6 +95,7 @@ impl WifiTcpTech {
             establish: None,
             establish_queue: VecDeque::new(),
             failures: None,
+            scratch: BytesMut::new(),
         }
     }
 
@@ -120,7 +125,7 @@ impl WifiTcpTech {
                     return;
                 }
             };
-            let encoded = packed.encode();
+            let encoded = pooled(&mut self.scratch, |buf| packed.encode_into(buf));
             let wire = wire_len.max(encoded.len() as u64);
             api.push(Command::TcpSend { conn, payload: encoded, wire_len: wire });
             self.peers.get_mut(&mesh).expect("entry").inflight.push_back(req);
@@ -358,7 +363,7 @@ impl D2dTechnology for WifiTcpTech {
                 }
                 false
             }
-            NodeEvent::Multicast { payload, .. } => match ControlFrame::decode(payload) {
+            NodeEvent::Multicast { payload, .. } => match ControlFrame::decode_shared(payload) {
                 Ok(ControlFrame::ResolveReply { addr, mesh }) => {
                     self.resolved.insert(addr, mesh);
                     if let Some(est) = self.establish.as_ref() {
@@ -405,7 +410,7 @@ impl D2dTechnology for WifiTcpTech {
                 let Some(&mesh) = self.conn_peer.get(conn) else {
                     return false;
                 };
-                if let Ok(packed) = PackedStruct::decode(payload) {
+                if let Ok(packed) = PackedStruct::decode_shared(payload) {
                     self.queues.as_ref().expect("enabled").receive.push(ReceivedItem {
                         tech: TechType::WifiTcp,
                         source: LowAddr::Mesh(mesh),

@@ -141,13 +141,14 @@ enum Engine {
         slot: u32,
         gen: u64,
     },
-    /// Payload boxed: `Bytes` would dominate the enum's size, and every
-    /// event heap operation moves a full `Engine` — keep the hot variants'
-    /// footprint small and pay one allocation on the rare delivery events.
+    /// Payload carried inline: `Bytes` is a two-word refcounted handle, so
+    /// cloning it per receiver is an `Arc` bump, not an allocation — boxing
+    /// it would put one heap allocation back on every fan-out delivery
+    /// (DESIGN.md §5i).
     BleOneShotDeliver {
         to: DeviceId,
         from: DeviceId,
-        payload: Box<Bytes>,
+        payload: Bytes,
     },
     BleOneShotSent {
         dev: DeviceId,
@@ -180,11 +181,11 @@ enum Engine {
     McastDone {
         gen: u64,
     },
-    /// Payload boxed for the same footprint reason as `BleOneShotDeliver`.
+    /// Payload carried inline for the same reason as `BleOneShotDeliver`.
     NfcDeliver {
         to: DeviceId,
         from: DeviceId,
-        payload: Box<Bytes>,
+        payload: Bytes,
     },
     InfraChunkDone {
         dev: DeviceId,
@@ -346,17 +347,17 @@ fn plan_adv(
     range: f64,
     dev: DeviceId,
     ids: &mut Vec<DeviceId>,
-) -> AdvPlan {
+    plan: &mut AdvPlan,
+) {
     world.neighbors_into(dev, range, ids);
-    ids.iter()
-        .filter_map(|&n| {
-            let d = &devices[n.0];
-            match (d.ble_on, d.ble_scan_duty) {
-                (true, Some(duty)) => Some((n, duty)),
-                _ => None,
-            }
-        })
-        .collect()
+    plan.clear();
+    plan.extend(ids.iter().filter_map(|&n| {
+        let d = &devices[n.0];
+        match (d.ble_on, d.ble_scan_duty) {
+            (true, Some(duty)) => Some((n, duty)),
+            _ => None,
+        }
+    }));
 }
 
 /// The simulation runner. See the crate docs for the overall model.
@@ -382,6 +383,11 @@ pub struct Runner {
     nbr_buf: Vec<DeviceId>,
     /// Pooled `(recipient, scan duty)` buffer for the BLE advertising tick.
     adv_buf: Vec<(DeviceId, f64)>,
+    /// Recycled fan-out plan buffers for sharded staging: consumed plans
+    /// come back here and are handed out to the next `refill_staged` batch,
+    /// so steady-state parallel planning reuses capacity instead of
+    /// allocating one `Vec` per advertiser per tick (DESIGN.md §5i).
+    plan_pool: Vec<AdvPlan>,
     obs: Option<RunnerObs>,
     faults: FaultState,
     sampler: Option<Sampler>,
@@ -436,6 +442,7 @@ impl Runner {
             cmd_buf: Vec::new(),
             nbr_buf: Vec::new(),
             adv_buf: Vec::new(),
+            plan_pool: Vec::new(),
             obs: None,
             faults,
             sampler: None,
@@ -624,7 +631,11 @@ impl Runner {
             caps,
             ble_on: caps.ble,
             ble_scan_duty: None,
-            ble_slots: Vec::new(),
+            // Most stacks advertise at least one context slot; reserving up
+            // front keeps the first `BleAdvertiseSet` of every device out of
+            // the allocator (at 10k devices that first push was the single
+            // largest startup allocation burst — see `scale --smoke`).
+            ble_slots: Vec::with_capacity(2),
             ble_next_gen: 1,
             ble_addr,
             wifi_on: caps.wifi,
@@ -831,18 +842,25 @@ impl Runner {
         let mut plans: Vec<Option<AdvPlan>> = Vec::new();
         plans.resize_with(batch.len(), || None);
         if !jobs.is_empty() {
+            // Hand recycled plan buffers out to the workers; consumed plans
+            // return to the pool in `ble_adv_tick`.
+            let mut pool = std::mem::take(&mut self.plan_pool);
             let world = &self.world;
             let devices = &self.devices;
             let range = self.cfg.range_m(TechType::BleBeacon);
             if jobs.len() < MIN_PARALLEL_JOBS || self.shards < 2 {
                 let mut ids = Vec::new();
                 for (i, dev) in jobs {
-                    plans[i] = Some(plan_adv(world, devices, range, dev, &mut ids));
+                    let mut plan = pool.pop().unwrap_or_default();
+                    plan_adv(world, devices, range, dev, &mut ids, &mut plan);
+                    plans[i] = Some(plan);
                 }
             } else {
-                let mut groups: Vec<Vec<(usize, DeviceId)>> = vec![Vec::new(); self.shards];
+                let mut groups: Vec<Vec<(usize, DeviceId, AdvPlan)>> =
+                    vec![Vec::new(); self.shards];
                 for (i, dev) in jobs {
-                    groups[world.shard_of(dev, self.shards)].push((i, dev));
+                    let buf = pool.pop().unwrap_or_default();
+                    groups[world.shard_of(dev, self.shards)].push((i, dev, buf));
                 }
                 let done: Vec<Vec<(usize, AdvPlan)>> = std::thread::scope(|scope| {
                     let workers: Vec<_> = groups
@@ -853,8 +871,9 @@ impl Runner {
                                 let mut ids = Vec::new();
                                 group
                                     .into_iter()
-                                    .map(|(i, dev)| {
-                                        (i, plan_adv(world, devices, range, dev, &mut ids))
+                                    .map(|(i, dev, mut plan)| {
+                                        plan_adv(world, devices, range, dev, &mut ids, &mut plan);
+                                        (i, plan)
                                     })
                                     .collect()
                             })
@@ -868,6 +887,7 @@ impl Runner {
                     }
                 }
             }
+            self.plan_pool = pool;
         }
         self.staged.extend(batch.into_iter().zip(plans).map(|(sch, plan)| Staged { sch, plan }));
     }
@@ -1299,7 +1319,7 @@ impl Runner {
             let delay = latency + self.faults.jitter(jitter_max);
             self.schedule(
                 delay,
-                Engine::BleOneShotDeliver { to, from: dev, payload: Box::new(payload.clone()) },
+                Engine::BleOneShotDeliver { to, from: dev, payload: payload.clone() },
             );
         }
         self.nbr_buf = recipients;
@@ -1493,7 +1513,7 @@ impl Runner {
             }
             self.schedule(
                 self.cfg.nfc.touch_latency,
-                Engine::NfcDeliver { to, from: dev, payload: Box::new(payload.clone()) },
+                Engine::NfcDeliver { to, from: dev, payload: payload.clone() },
             );
         }
         self.nbr_buf = recipients;
@@ -1562,7 +1582,7 @@ impl Runner {
                     if let Some(o) = &self.obs {
                         o.ble.rx(payload.len());
                     }
-                    self.deliver(to, NodeEvent::BleOneShot { from: from_addr, payload: *payload });
+                    self.deliver(to, NodeEvent::BleOneShot { from: from_addr, payload });
                 }
             }
             Engine::BleOneShotSent { dev } => self.deliver(dev, NodeEvent::BleOneShotSent),
@@ -1645,7 +1665,7 @@ impl Runner {
                     if let Some(o) = &self.obs {
                         o.nfc.rx(payload.len());
                     }
-                    self.deliver(to, NodeEvent::NfcReceived { from: from_addr, payload: *payload });
+                    self.deliver(to, NodeEvent::NfcReceived { from: from_addr, payload });
                 }
             }
             Engine::InfraChunkDone { dev, gen } => self.infra_chunk_done(dev, gen),
@@ -1794,24 +1814,34 @@ impl Runner {
         // scanner, and the `Bytes` refcount round-trip is measurable at
         // fleet scale. The payload is cloned out only when a delivery
         // actually happens.
-        let (payload_len, interval, epoch) = {
+        let probed = {
             let d = &self.devices[dev.0];
             if !d.ble_on {
-                return;
-            }
-            match d.ble_slots.iter().find(|(s, _)| *s == slot) {
-                Some((_, s)) if s.gen == gen => {
-                    let epoch = omni_wire::PackedStruct::peek_trace(&s.payload)
-                        .map_or(0, omni_wire::TraceId::as_u64);
-                    (s.payload.len(), s.interval, epoch)
+                None
+            } else {
+                match d.ble_slots.iter().find(|(s, _)| *s == slot) {
+                    Some((_, s)) if s.gen == gen => {
+                        let epoch = omni_wire::PackedStruct::peek_trace(&s.payload)
+                            .map_or(0, omni_wire::TraceId::as_u64);
+                        Some((s.payload.len(), s.interval, epoch))
+                    }
+                    _ => None,
                 }
-                _ => return,
             }
+        };
+        let Some((payload_len, interval, epoch)) = probed else {
+            if let Some(p) = plan {
+                self.recycle_plan(p);
+            }
+            return;
         };
         if self.faults.is_down(dev) {
             // Keep the slot cadence alive so advertising resumes when the
             // churn window ends.
             self.schedule(interval, Engine::BleAdv { dev, slot, gen });
+            if let Some(p) = plan {
+                self.recycle_plan(p);
+            }
             return;
         }
         self.energy.pulse(dev, self.cfg.energy.ble_adv_ma, self.cfg.ble.adv_pulse);
@@ -1833,7 +1863,14 @@ impl Runner {
         // since planning forces a serial recompute, which filters
         // identically (see `plan_adv`), so the two sources are
         // interchangeable bit for bit.
-        let planned = plan.filter(|_| self.staged_epoch == self.topo_epoch);
+        let planned = match plan {
+            Some(p) if self.staged_epoch == self.topo_epoch => Some(p),
+            Some(stale) => {
+                self.recycle_plan(stale);
+                None
+            }
+            None => None,
+        };
         let (candidates, pooled) = match planned {
             Some(p) => (p, false),
             None => {
@@ -1889,6 +1926,17 @@ impl Runner {
         }
         if pooled {
             self.adv_buf = candidates;
+        } else {
+            self.recycle_plan(candidates);
+        }
+    }
+
+    /// Return a consumed fan-out plan to the staging pool (capped at one
+    /// batch's worth so a churn spike can't pin memory forever).
+    fn recycle_plan(&mut self, mut plan: AdvPlan) {
+        plan.clear();
+        if self.plan_pool.len() < STAGE_BATCH {
+            self.plan_pool.push(plan);
         }
     }
 

@@ -23,7 +23,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use crate::{OmniAddress, PackedStruct, TraceId};
+use crate::{FrameView, OmniAddress, PackedStruct, TraceId};
 
 /// Tag byte marking a directed data frame.
 pub const DATA_TAG: u8 = 0xD0;
@@ -42,37 +42,55 @@ pub const ACK_TAG: u8 = 0xDA;
 
 /// Wraps a packed struct with a destination address.
 pub fn encode_directed(dest: OmniAddress, packed: &PackedStruct) -> Bytes {
-    let inner = packed.encode();
-    let mut frame = BytesMut::with_capacity(9 + inner.len());
-    frame.put_u8(DATA_TAG);
-    frame.put_slice(&dest.to_bytes());
-    frame.put_slice(&inner);
+    let mut frame = BytesMut::with_capacity(DIRECTED_OVERHEAD + packed.encoded_len());
+    encode_directed_into(dest, packed, &mut frame);
     frame.freeze()
+}
+
+/// Appends a directed frame to a caller-provided (pooled) buffer. The inner
+/// packed struct is written straight into `buf` — no intermediate encoding
+/// allocation (DESIGN.md §5i).
+pub fn encode_directed_into(dest: OmniAddress, packed: &PackedStruct, buf: &mut BytesMut) {
+    buf.reserve(DIRECTED_OVERHEAD + packed.encoded_len());
+    buf.put_u8(DATA_TAG);
+    buf.put_slice(&dest.to_bytes());
+    packed.encode_into(buf);
 }
 
 /// Wraps a packed struct with a destination address and an ack-correlation
 /// token (reliable mode).
 pub fn encode_acked(dest: OmniAddress, corr: u64, packed: &PackedStruct) -> Bytes {
-    let inner = packed.encode();
-    let mut frame = BytesMut::with_capacity(17 + inner.len());
-    frame.put_u8(ACKED_TAG);
-    frame.put_slice(&dest.to_bytes());
-    frame.put_u64(corr);
-    frame.put_slice(&inner);
+    let mut frame = BytesMut::with_capacity(ACKED_OVERHEAD + packed.encoded_len());
+    encode_acked_into(dest, corr, packed, &mut frame);
     frame.freeze()
+}
+
+/// Appends an acked directed frame to a caller-provided (pooled) buffer,
+/// writing the inner packed struct in place like [`encode_directed_into`].
+pub fn encode_acked_into(dest: OmniAddress, corr: u64, packed: &PackedStruct, buf: &mut BytesMut) {
+    buf.reserve(ACKED_OVERHEAD + packed.encoded_len());
+    buf.put_u8(ACKED_TAG);
+    buf.put_slice(&dest.to_bytes());
+    buf.put_u64(corr);
+    packed.encode_into(buf);
 }
 
 /// Builds the acknowledgement for an acked directed frame, echoing the acked
 /// frame's trace ID when it carried one.
 pub fn encode_ack(dest: OmniAddress, corr: u64, trace: Option<TraceId>) -> Bytes {
     let mut frame = BytesMut::with_capacity(if trace.is_some() { 25 } else { 17 });
-    frame.put_u8(ACK_TAG);
-    frame.put_slice(&dest.to_bytes());
-    frame.put_u64(corr);
-    if let Some(t) = trace {
-        frame.put_u64(t.as_u64());
-    }
+    encode_ack_into(dest, corr, trace, &mut frame);
     frame.freeze()
+}
+
+/// Appends an acknowledgement frame to a caller-provided (pooled) buffer.
+pub fn encode_ack_into(dest: OmniAddress, corr: u64, trace: Option<TraceId>, buf: &mut BytesMut) {
+    buf.put_u8(ACK_TAG);
+    buf.put_slice(&dest.to_bytes());
+    buf.put_u64(corr);
+    if let Some(t) = trace {
+        buf.put_u64(t.as_u64());
+    }
 }
 
 /// A broadcast frame as seen by a reliable-capable receiver.
@@ -125,7 +143,41 @@ fn ack_trace_of(frame: &[u8]) -> Option<TraceId> {
     TraceId::from_u64(u64::from_be_bytes(raw))
 }
 
+/// Zero-copy variant of [`parse_for`]: classification and validation go
+/// through [`FrameView`], and any delivered payload is a [`Bytes::slice`] of
+/// `frame` — the reference-counted radio buffer is shared into the receive
+/// queue, never copied (DESIGN.md §5i). Behavior is pinned byte-for-byte to
+/// [`parse_for`] by the differential suite.
+pub fn parse_for_shared(own: OmniAddress, frame: &Bytes) -> Incoming {
+    match FrameView::parse(frame.as_ref()) {
+        Ok(FrameView::Broadcast(v)) => Incoming::Plain(v.to_shared(frame, 0)),
+        Ok(FrameView::Directed { dest, packed }) if dest == own => {
+            Incoming::Plain(packed.to_shared(frame, DIRECTED_OVERHEAD))
+        }
+        Ok(FrameView::Acked { dest, corr, packed }) if dest == own => {
+            Incoming::Acked { corr, packed: packed.to_shared(frame, ACKED_OVERHEAD) }
+        }
+        Ok(FrameView::Ack { dest, corr, trace }) if dest == own => Incoming::Ack { corr, trace },
+        _ => Incoming::NotForUs,
+    }
+}
+
+/// Zero-copy variant of [`decode_for`], with payloads sliced out of the
+/// shared `frame` buffer exactly like [`parse_for_shared`].
+pub fn decode_for_shared(own: OmniAddress, frame: &Bytes) -> Option<PackedStruct> {
+    match FrameView::parse(frame.as_ref()) {
+        Ok(FrameView::Broadcast(v)) => Some(v.to_shared(frame, 0)),
+        Ok(FrameView::Directed { dest, packed }) if dest == own => {
+            Some(packed.to_shared(frame, DIRECTED_OVERHEAD))
+        }
+        _ => None,
+    }
+}
+
 /// Interprets a broadcast frame, including the reliable-mode shapes.
+///
+/// Owned-codec oracle for [`parse_for_shared`]; the hot receive paths use
+/// the shared variant.
 pub fn parse_for(own: OmniAddress, frame: &[u8]) -> Incoming {
     match frame.first() {
         Some(&DATA_TAG) => match decode_for(own, frame) {

@@ -22,6 +22,12 @@
 //! * [`RelayHeader`] — the optional multi-hop store-carry-forward header
 //!   (final destination, TTL, hop count, spray copy budget) flagged by the
 //!   [`RELAY_FLAG`] kind bit (DESIGN.md §5h).
+//! * [`PackedView`] / [`FrameView`] / [`RelayHeaderView`] — zero-copy
+//!   `&[u8]`-backed views over encoded frames (DESIGN.md §5i): one up-front
+//!   validation, panic-free accessors, payloads borrowed or `Arc`-shared
+//!   ([`PackedStruct::decode_shared`], [`frame::parse_for_shared`]) instead
+//!   of copied. The owned [`PackedStruct::decode`] codec remains as the
+//!   differential-test oracle.
 //!
 //! # Example
 //!
@@ -54,6 +60,7 @@ mod packed;
 mod status;
 mod tech;
 mod trace_id;
+mod view;
 
 pub use address::{BleAddress, MeshAddress, NfcAddress, OmniAddress};
 pub use error::WireError;
@@ -65,3 +72,4 @@ pub use packed::{
 pub use status::{ResponseInfo, StatusCode};
 pub use tech::TechType;
 pub use trace_id::TraceId;
+pub use view::{FrameView, PackedView, RelayHeaderView};

@@ -187,9 +187,22 @@ impl PackedStruct {
             + self.payload.len()
     }
 
-    /// Encodes to the tightly packed wire form.
+    /// Encodes to the tightly packed wire form in a freshly allocated
+    /// buffer. Hot paths reuse a caller-owned buffer via
+    /// [`PackedStruct::encode_into`] instead.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the wire form to a caller-provided buffer (DESIGN.md §5i).
+    ///
+    /// The frame-encode helpers in [`crate::frame`] and the technology send
+    /// paths use this with a pooled scratch buffer so a steady-state send
+    /// costs one shared-buffer allocation, not one per framing layer.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
         let mut kind = self.kind.as_byte();
         if self.trace.is_some() {
             kind |= TRACE_FLAG;
@@ -203,13 +216,17 @@ impl PackedStruct {
             buf.put_u64(t.as_u64());
         }
         if let Some(r) = &self.relay {
-            r.put(&mut buf);
+            r.put(buf);
         }
         buf.put_slice(&self.payload);
-        buf.freeze()
     }
 
-    /// Decodes from the wire form.
+    /// Decodes from the wire form, copying the payload into owned storage.
+    ///
+    /// This is the original owned codec, retained as the differential oracle
+    /// for the zero-copy path (`crates/wire/tests/differential.rs`): the
+    /// receive paths use [`PackedStruct::decode_shared`] /
+    /// [`crate::PackedView`] instead, which never copy payload bytes.
     ///
     /// # Errors
     ///
@@ -260,6 +277,19 @@ impl PackedStruct {
             trace,
             relay,
         })
+    }
+
+    /// Zero-copy decode: like [`PackedStruct::decode`], but the returned
+    /// payload is a [`Bytes::slice`] of `bytes` — the reference-counted
+    /// storage is shared all the way into the receive queues, never copied
+    /// (DESIGN.md §5i). Validation is [`crate::PackedView::parse`], so the
+    /// error taxonomy is pinned to the owned oracle's.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`PackedStruct::decode`].
+    pub fn decode_shared(bytes: &Bytes) -> Result<Self, WireError> {
+        Ok(crate::PackedView::parse(bytes.as_ref())?.to_shared(bytes, 0))
     }
 
     /// Reads the trace ID out of an encoded frame without a full decode.

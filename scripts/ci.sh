@@ -18,6 +18,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== wire smoke (zero-copy allocation gate + codec microbenches) =="
+cargo run --release -p omni-bench --bin wire -- --smoke
+cargo bench -q -p omni-bench --bench codec
+
 echo "== reliability smoke (fault matrix) =="
 cargo run --release -p omni-bench --bin reliability -- --smoke
 

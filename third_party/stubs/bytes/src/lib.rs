@@ -7,33 +7,52 @@
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage: either a borrowed `'static` slice (zero-alloc, as in the
+/// real crate) or reference-counted shared bytes.
+#[derive(Clone)]
+enum Data {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Deref for Data {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            Data::Static(s) => s,
+            Data::Shared(a) => a,
+        }
+    }
+}
+
 /// An immutable, cheaply clonable view into shared bytes.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Data,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer.
-    pub fn new() -> Self {
-        Bytes::from_vec(Vec::new())
+    /// An empty buffer. Allocation-free.
+    pub const fn new() -> Self {
+        Bytes { data: Data::Static(&[]), start: 0, end: 0 }
     }
 
-    /// Wraps a static slice (copied once into shared storage).
-    pub fn from_static(s: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(s), start: 0, end: s.len() }
+    /// Wraps a static slice. Allocation-free: the view borrows the slice for
+    /// the program's lifetime, exactly like the real crate.
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes { data: Data::Static(s), start: 0, end: s.len() }
     }
 
     /// Copies `s` into a new shared buffer.
     pub fn copy_from_slice(s: &[u8]) -> Self {
-        Bytes { data: Arc::from(s), start: 0, end: s.len() }
+        Bytes { data: Data::Shared(Arc::from(s)), start: 0, end: s.len() }
     }
 
     fn from_vec(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Arc::from(v), start: 0, end }
+        Bytes { data: Data::Shared(Arc::from(v)), start: 0, end }
     }
 
     /// Number of visible bytes.
@@ -63,7 +82,7 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds for {}", self.len());
-        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+        Bytes { data: self.data.clone(), start: self.start + lo, end: self.start + hi }
     }
 
     /// The visible bytes as a plain slice.
@@ -335,5 +354,19 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.clone(), b);
         assert_eq!(a, [1u8, 2, 3]);
+    }
+
+    #[test]
+    fn static_and_sliced_views_share_storage() {
+        // `from_static` borrows the original slice rather than copying it.
+        static RAW: [u8; 4] = [9, 8, 7, 6];
+        let b = Bytes::from_static(&RAW);
+        assert_eq!(b.as_ref().as_ptr(), RAW.as_ptr());
+        // `slice` of any view points into the same storage.
+        let s = b.slice(1..3);
+        assert_eq!(s.as_ref().as_ptr(), RAW[1..].as_ptr());
+        let owned = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let tail = owned.slice(2..);
+        assert_eq!(tail.as_ref().as_ptr(), owned.as_ref()[2..].as_ptr());
     }
 }
