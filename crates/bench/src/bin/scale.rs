@@ -154,16 +154,23 @@ struct CellResult {
     p95_tick_us: u64,
     allocs_per_tick: f64,
     heard: u64,
+    /// The tick-phase profile, when the cell ran with `profile = true`.
+    report: Option<omni_obs::PhaseReport>,
 }
 
 /// Runs an N-device fleet for `ticks_for(n)` beacon rounds, timing each
 /// round and counting its heap allocations. `shards > 1` routes the run
-/// through the sharded tick loop; `brute_force` swaps the neighbor query.
-fn run_cell(n: usize, brute_force: bool, shards: usize, obs: &Obs) -> CellResult {
+/// through the sharded tick loop; `brute_force` swaps the neighbor query;
+/// `profile` enables the tick-phase profiler (byte-identical behavior by
+/// the §5j invariant — only wall-clock attribution is added).
+fn run_cell(n: usize, brute_force: bool, shards: usize, profile: bool, obs: &Obs) -> CellResult {
     let ticks = ticks_for(n);
     let mut sim = Runner::new(SimConfig::default());
     sim.set_brute_force_neighbors(brute_force);
     sim.set_shards(shards);
+    if profile {
+        sim.enable_profiler();
+    }
     sim.trace_mut().set_enabled(false);
     let heard = Rc::new(RefCell::new(0u64));
     let sites = n.div_ceil(2);
@@ -203,7 +210,25 @@ fn run_cell(n: usize, brute_force: bool, shards: usize, obs: &Obs) -> CellResult
         p95_tick_us: hist.quantile(0.95),
         allocs_per_tick: allocs as f64 / ticks as f64,
         heard,
+        report: sim.profiler().map(|p| p.report()),
     }
+}
+
+/// Prints a profiled cell's per-phase share breakdown, serial-fraction
+/// estimate, and Amdahl ceiling (the scale acceptance readout).
+fn print_phase_report(label: &str, r: &omni_obs::PhaseReport) {
+    let shares: Vec<String> = r
+        .phases
+        .iter()
+        .filter(|p| p.scopes > 0)
+        .map(|p| format!("{} {:.1}%", p.phase.name(), p.share * 100.0))
+        .collect();
+    println!("scale profile [{label}]: {}", shares.join(", "));
+    println!(
+        "scale profile [{label}]: serial fraction {:.3} → Amdahl ceiling {:.2}×, \
+         shard imbalance {:.2}, batch occupancy p50 {}",
+        r.serial_fraction, r.amdahl_ceiling, r.imbalance, r.batch_occupancy.p50
+    );
 }
 
 /// Everything a parity run externalizes, captured for byte comparison.
@@ -318,7 +343,7 @@ fn main() {
     let obs = ObsRun::new("scale");
 
     if smoke {
-        let cell = run_cell(1000, false, 1, &obs);
+        let cell = run_cell(1000, false, 1, false, &obs);
         println!(
             "scale smoke: 1000 nodes, {:.0} ticks/sec, mean tick {:.0} µs, p95 {} µs, \
              {:.0} allocs/tick, {} beacons heard",
@@ -346,8 +371,8 @@ fn main() {
         // floor only applies where the host has cores to parallelize onto.
         let cores = host_cores();
         let shards = shard_count();
-        let oracle = run_cell(10_000, false, 1, &obs);
-        let sharded = run_cell(10_000, false, shards, &obs);
+        let oracle = run_cell(10_000, false, 1, false, &obs);
+        let sharded = run_cell(10_000, false, shards, false, &obs);
         let speedup = sharded.ticks_per_sec / oracle.ticks_per_sec;
         println!(
             "scale smoke: 10000 nodes, oracle {:.0} ticks/sec ({:.0} allocs/tick), \
@@ -383,6 +408,14 @@ fn main() {
             );
         }
 
+        // One profiled sharded 10k cell after the timing asserts (so the
+        // profiler's small overhead cannot color them): where does the
+        // remaining serial time go, and what ceiling does Amdahl put on
+        // more shards?
+        let profiled = run_cell(10_000, false, shards, true, &obs);
+        assert_eq!(oracle.heard, profiled.heard, "profiled run diverged — §5j invariant broken");
+        print_phase_report("10k smoke", profiled.report.as_ref().expect("profiled cell"));
+
         let mut b = Baseline::new("scale", true);
         b.gate("n1000_heard", cell.heard as f64, 0.0);
         b.gate("n10000_heard", oracle.heard as f64, 0.0);
@@ -407,7 +440,7 @@ fn main() {
     let shards = shard_count();
     let mut grid_1000 = None;
     for n in [100usize, 500, 1000, 5000, 10_000, 50_000, 100_000] {
-        let cell = run_cell(n, false, 1, &obs);
+        let cell = run_cell(n, false, 1, false, &obs);
         println!(
             "n={n:6}: {:8.1} ticks/sec, mean {:8.0} µs, p95 {:7} µs, {:8.0} allocs/tick, \
              {} beacons heard",
@@ -434,7 +467,7 @@ fn main() {
         // Sharded re-run at the two headline sizes: exact behavioral parity,
         // wall-clock reported (the floor is enforced by --smoke, core-aware).
         if n == 10_000 || n == 100_000 {
-            let sh = run_cell(n, false, shards, &obs);
+            let sh = run_cell(n, false, shards, n == 10_000, &obs);
             let speedup = sh.ticks_per_sec / cell.ticks_per_sec;
             println!(
                 "n={n:6} {shards}-shard: {:8.1} ticks/sec, mean {:8.0} µs → speedup {speedup:.2}×",
@@ -442,6 +475,11 @@ fn main() {
             );
             assert_eq!(cell.heard, sh.heard, "{n}-node sharded run diverged — determinism bug");
             bline.info(&format!("n{n}_shard_speedup"), speedup);
+            if let Some(r) = &sh.report {
+                print_phase_report(&format!("{n} sharded"), r);
+                bline.info(&format!("n{n}_serial_fraction"), r.serial_fraction);
+                bline.info(&format!("n{n}_amdahl_ceiling"), r.amdahl_ceiling);
+            }
         }
         if n == 1000 {
             grid_1000 = Some(cell);
@@ -455,8 +493,8 @@ fn main() {
     // brute run: on a loaded box the sweep's earlier cells can depress the
     // first sample enough to flake a 10× floor that holds comfortably.
     let grid = grid_1000.expect("1000-node cell ran");
-    let brute = run_cell(1000, true, 1, &obs);
-    let grid_fresh = run_cell(1000, false, 1, &obs);
+    let brute = run_cell(1000, true, 1, false, &obs);
+    let grid_fresh = run_cell(1000, false, 1, false, &obs);
     assert_eq!(grid.heard, grid_fresh.heard, "same fleet, same seed — heard must repeat");
     let speedup = grid.ticks_per_sec.max(grid_fresh.ticks_per_sec) / brute.ticks_per_sec;
     println!(

@@ -25,7 +25,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use omni_bench::ObsRun;
 use omni_core::{OmniBuilder, OmniConfig, OmniStack, RetryPolicy};
-use omni_obs::Obs;
+use omni_obs::{chrome_phase_slices, Obs, PhaseSlice, QuantileDigest};
 use omni_sim::{
     ChurnWindow, DeviceCaps, FaultScope, FlightRecorder, LinkPartition, Position, Runner,
     SimConfig, SimDuration, SimTime,
@@ -86,13 +86,19 @@ fn fleet_faults(clusters: usize) -> omni_sim::FaultConfig {
 /// messages to its second device over WiFi-TCP with BLE failover, reliable
 /// retries on.  All nodes share `obs`, so the event ring is the fleet-wide
 /// flight record.
-fn run_fleet(nodes: usize, obs: &Obs) -> FleetStatus {
+fn run_fleet(nodes: usize, obs: &Obs) -> (FleetStatus, Vec<PhaseSlice>) {
     assert_eq!(nodes % CLUSTER, 0, "fleet size must be whole clusters");
     let clusters = nodes / CLUSTER;
     let sim_cfg = SimConfig { seed: SEED, faults: fleet_faults(clusters), ..Default::default() };
     let mut sim = Runner::new(sim_cfg);
     sim.trace_mut().set_enabled(false);
     sim.set_obs(obs.clone());
+    // Tick-phase profiling with slice retention: the slices land in the
+    // Chrome trace next to the per-trace transfer rows. Safe to leave on —
+    // DESIGN.md §5j guarantees profiling never changes an artifact, which
+    // the smoke rerun below double-checks byte-for-byte.
+    sim.enable_profiler();
+    sim.profiler_mut().expect("just enabled").set_slice_capacity(1 << 12);
 
     // Cluster centers on a 150 m grid (outside every radio range), members
     // on a 10 m ring around the center.
@@ -163,8 +169,9 @@ fn run_fleet(nodes: usize, obs: &Obs) -> FleetStatus {
     }
 
     sim.run_until(SimTime::from_secs(RUN_S));
+    let slices = sim.profiler().expect("enabled above").report().slices;
     let statuses = statuses.borrow().iter().map(|s| s.first().copied()).collect();
-    FleetStatus { statuses }
+    (FleetStatus { statuses }, slices)
 }
 
 // ---------------------------------------------------------------------------
@@ -453,14 +460,15 @@ fn percentiles(samples: &mut [u64]) -> (u64, u64, u64) {
     (at(0.50), at(0.90), at(0.99))
 }
 
-/// Enqueue→deliver latency per delivered trace, in microseconds.
-fn delivery_latencies(timelines: &[Timeline<'_>]) -> Vec<u64> {
+/// Enqueue→deliver latency per delivered trace, in microseconds, keyed by
+/// trace ID so the latency digest can retain the slow traces as exemplars.
+fn delivery_latencies(timelines: &[Timeline<'_>]) -> Vec<(u64, u64)> {
     timelines
         .iter()
         .filter_map(|tl| {
             let enq = tl.events.iter().find(|e| e.kind == "DataEnqueued")?.t_us;
             let del = tl.events.iter().find(|e| e.kind == "DataDelivered")?.t_us;
-            Some(del.saturating_sub(enq))
+            Some((tl.trace, del.saturating_sub(enq)))
         })
         .collect()
 }
@@ -493,14 +501,27 @@ fn discovery_latencies(events: &[RawEvent]) -> Vec<u64> {
 }
 
 /// Writes the Chrome trace-event file: one `"X"` span per trace, an `"i"`
-/// instant per hop, and process metadata.  Loadable in Perfetto and
-/// `chrome://tracing`.
-fn write_chrome_trace(timelines: &[Timeline<'_>], path: &std::path::Path) -> std::io::Result<()> {
+/// instant per hop, tick-phase profiler slices on their own thread row, and
+/// process metadata.  Loadable in Perfetto and `chrome://tracing`.
+fn write_chrome_trace(
+    timelines: &[Timeline<'_>],
+    slices: &[PhaseSlice],
+    path: &std::path::Path,
+) -> std::io::Result<()> {
     let mut out = String::from("{\"traceEvents\": [\n");
     out.push_str(
         "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 0, \
          \"args\": {\"name\": \"omni fleet flight record\"}}",
     );
+    if !slices.is_empty() {
+        // Runner tick phases under tid 0; per-trace rows start at tid 1.
+        out.push_str(
+            ",\n{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": 0, \
+             \"args\": {\"name\": \"tick phases\"}}",
+        );
+        out.push_str(",\n");
+        out.push_str(&chrome_phase_slices(slices, 0, 0));
+    }
     for (idx, tl) in timelines.iter().enumerate() {
         let tid = idx + 1;
         let start = tl.events.first().map_or(0, |e| e.t_us);
@@ -541,7 +562,7 @@ fn write_chrome_trace(timelines: &[Timeline<'_>], path: &std::path::Path) -> std
 /// Prints every report over a parsed dump and writes the Chrome trace file.
 /// When fleet statuses are available, cross-checks that each send with a
 /// terminal status reconstructs into a complete timeline.
-fn analyze(events: &[RawEvent], statuses: Option<&FleetStatus>) {
+fn analyze(events: &[RawEvent], statuses: Option<&FleetStatus>, slices: &[PhaseSlice]) {
     let timelines = build_timelines(events);
     let mut outcomes: BTreeMap<&str, usize> = BTreeMap::new();
     let mut drops: BTreeMap<(String, String), usize> = BTreeMap::new();
@@ -577,10 +598,53 @@ fn analyze(events: &[RawEvent], statuses: Option<&FleetStatus>) {
         }
     }
 
-    let (p50, p90, p99) = percentiles(&mut delivery_latencies(&timelines));
+    // Latency digests: delivery latencies carry their trace IDs as
+    // exemplars, so a slow-window percentile links straight back to the
+    // hop-by-hop timeline that produced it.
+    let pairs = delivery_latencies(&timelines);
+    let mut delivery_digest = QuantileDigest::new();
+    for (trace, lat) in &pairs {
+        delivery_digest.record_with_exemplar(*lat, *trace);
+    }
+    let mut discovery_digest = QuantileDigest::new();
+    for lat in discovery_latencies(events) {
+        discovery_digest.record(lat);
+    }
+
+    let (p50, p90, p99) = percentiles(&mut pairs.iter().map(|(_, l)| *l).collect::<Vec<_>>());
     println!("enqueue->deliver latency us: p50={p50} p90={p90} p99={p99}");
-    let (d50, d90, d99) = percentiles(&mut discovery_latencies(events));
-    println!("beacon->discovered latency us: p50={d50} p90={d90} p99={d99}");
+    let d = discovery_digest.summary();
+    println!(
+        "beacon->discovered latency us (digest): p50={} p99={} p999={} (n={})",
+        d.p50, d.p99, d.p999, d.count
+    );
+
+    // Slow-window exemplar: the digest's p99 bucket retains the traces that
+    // landed there; every one must resolve to a complete flight-recorder
+    // timeline. Print the first so the slow tail is explained, not just
+    // measured.
+    if delivery_digest.count() > 0 {
+        let exemplars = delivery_digest.exemplars_at(0.99);
+        assert!(!exemplars.is_empty(), "p99 bucket kept no exemplars");
+        for trace in &exemplars {
+            let tl = timelines
+                .iter()
+                .find(|tl| tl.trace == *trace)
+                .unwrap_or_else(|| panic!("exemplar trace {trace:#x} has no timeline"));
+            assert!(
+                tl.is_complete(),
+                "exemplar trace {trace:#x} resolves to an incomplete timeline"
+            );
+        }
+        println!(
+            "slow-window exemplar (p99={} us, {} trace(s) retained):",
+            delivery_digest.quantile(0.99),
+            exemplars.len()
+        );
+        if let Some(tl) = timelines.iter().find(|tl| tl.trace == exemplars[0]) {
+            print!("{}", render_timeline(tl));
+        }
+    }
 
     // Exemplar hop-by-hop timelines: one with fault drops, one that
     // exhausted its budget, and the first delivered one.
@@ -605,7 +669,7 @@ fn analyze(events: &[RawEvent], statuses: Option<&FleetStatus>) {
     if let Some(parent) = chrome.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    match write_chrome_trace(&timelines, &chrome) {
+    match write_chrome_trace(&timelines, slices, &chrome) {
         Ok(()) => println!("chrome trace: {}", chrome.display()),
         Err(e) => eprintln!("chrome trace write failed: {e}"),
     }
@@ -644,14 +708,14 @@ fn main() {
     if let Some(path) = args.iter().find(|a| a.ends_with(".jsonl")) {
         let text =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        analyze(&parse_jsonl(&text), None);
+        analyze(&parse_jsonl(&text), None, &[]);
         println!("trace: ok");
         return;
     }
 
     let nodes = if smoke { 40 } else { 200 };
     let obs = ObsRun::with_event_capacity("trace", 1 << 19);
-    let fleet = run_fleet(nodes, &obs);
+    let (fleet, slices) = run_fleet(nodes, &obs);
     assert_eq!(obs.events_dropped(), 0, "event ring overflowed; raise the capacity");
 
     let recorder = FlightRecorder::from_obs(&obs);
@@ -663,7 +727,7 @@ fn main() {
     if smoke {
         // Determinism: a same-seed rerun must dump identical bytes.
         let obs2 = Obs::with_event_capacity(1 << 19);
-        run_fleet(nodes, &obs2);
+        let _ = run_fleet(nodes, &obs2);
         let jsonl2 = FlightRecorder::from_obs(&obs2).to_jsonl();
         assert_eq!(jsonl, jsonl2, "same-seed reruns must produce byte-identical dumps");
         println!("determinism: rerun dump is byte-identical ({} bytes)", jsonl.len());
@@ -676,6 +740,6 @@ fn main() {
         events.iter().any(|e| e.kind == "FrameDropped"),
         "faulty fleet must attribute at least one dropped frame"
     );
-    analyze(&events, Some(&fleet));
+    analyze(&events, Some(&fleet), &slices);
     println!("trace: ok");
 }

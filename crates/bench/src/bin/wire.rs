@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
+use omni_bench::ObsRun;
 use omni_wire::frame::{self, Incoming};
 use omni_wire::{FrameView, OmniAddress, PackedStruct, PackedView, RelayHeader, TraceId};
 
@@ -67,6 +68,10 @@ fn measure(mut op: impl FnMut()) -> (f64, f64) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // Every measured window below is a before/after delta over its own
+    // loop, so the guard's allocations (registry, end-of-run emit) never
+    // land inside one; it just writes `target/obs/wire.json` on exit.
+    let obs = ObsRun::new("wire");
     let origin = OmniAddress::from_u64(0x0123_4567_89ab_cdef);
     let dest = OmniAddress::from_u64(0xfeed_beef_dead_f00d);
 
@@ -105,6 +110,19 @@ fn main() {
     let (legacy_allocs, legacy_ns) = measure(|| {
         black_box(black_box(&packed).encode());
     });
+
+    for (name, allocs, ns) in [
+        ("view_parse", view_allocs, view_ns),
+        ("decode_shared", shared_allocs, shared_ns),
+        ("owned_decode", owned_allocs, owned_ns),
+        ("pooled_encode", pooled_allocs, pooled_ns),
+        ("legacy_encode", legacy_allocs, legacy_ns),
+    ] {
+        obs.gauge(&format!("wire.{name}.ns_per_op")).set(ns as i64);
+        // Gauges are integral; scale by 1000 so fractional alloc rates
+        // (one-time growth amortized over the loop) stay visible.
+        obs.gauge(&format!("wire.{name}.milli_allocs_per_op")).set((allocs * 1000.0) as i64);
+    }
 
     println!(
         "wire smoke: view parse {view_allocs:.3} allocs/op ({view_ns:.0} ns), \

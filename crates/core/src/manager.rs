@@ -24,7 +24,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::{BufMut, Bytes};
-use omni_obs::{Counter, EventKind, Gauge, Histogram, Obs};
+use omni_obs::{Counter, Digest, EventKind, Gauge, Histogram, Obs};
 use omni_sim::{NodeApi, NodeEvent, SimDuration, SimTime};
 use omni_wire::{
     AddressBeaconPayload, BleAddress, ContentKind, MeshAddress, OmniAddress, PackedStruct,
@@ -121,6 +121,13 @@ struct MgrObs {
     /// `mgr.send_latency_us{tech=..}`: enqueue → terminal DataSent, in sim
     /// microseconds, indexed by [`tech_idx`].
     send_latency_us: [Histogram; 4],
+    /// `mgr.delivery_latency_us`: the same enqueue → DataSent span across
+    /// all carriers, as a quantile digest so telemetry can read a true
+    /// windowed p99 (a `(count, sum)` histogram only yields the mean, which
+    /// a healthy majority drowns). Each sample carries the send's trace id
+    /// as an exemplar, linking slow windows back to `FlightRecorder`
+    /// timelines.
+    delivery_latency: Digest,
     /// `mgr.data_relayed{strategy=..}`: successful custody-hop forwards.
     data_relayed: Counter,
     /// `mgr.data_custody{strategy=..}`: frames taken into custody.
@@ -162,6 +169,7 @@ impl MgrObs {
                 .map(|ty| obs.counter_with("mgr.data_delivered", &[("tech", tech_label(ty))])),
             send_latency_us: ALL_TECHS
                 .map(|ty| obs.histogram_with("mgr.send_latency_us", &[("tech", tech_label(ty))])),
+            delivery_latency: obs.digest("mgr.delivery_latency_us"),
             data_relayed: obs.counter_with("mgr.data_relayed", &[("strategy", relay_label)]),
             data_custody: obs.counter_with("mgr.data_custody", &[("strategy", relay_label)]),
             data_deduped: obs.counter_with("mgr.data_deduped", &[("strategy", relay_label)]),
@@ -1223,9 +1231,10 @@ impl OmniManager {
                     if let Some(m) = &self.mgr_obs {
                         m.data_sent.inc();
                         m.sent_by_tech[tech_idx(tech)].inc();
-                        m.send_latency_us[tech_idx(tech)].record(
-                            api.now.as_micros().saturating_sub(send.enqueued_at.as_micros()),
-                        );
+                        let latency_us =
+                            api.now.as_micros().saturating_sub(send.enqueued_at.as_micros());
+                        m.send_latency_us[tech_idx(tech)].record(latency_us);
+                        m.delivery_latency.record_with_exemplar(latency_us, send.trace.as_u64());
                         m.event(
                             api.now,
                             EventKind::DataSent {

@@ -9,13 +9,25 @@
 //!   "gauges": {"queue.receive.depth": 0},
 //!   "histograms": {"mgr.beacon_interval_us": {"count": 9, "sum": 4500000,
 //!     "min": 500000, "max": 500000, "p50": 500000, "p95": 500000, "p99": 500000}},
+//!   "digests": {"mgr.delivery_latency_us": {"count": 7, "sum": 3500, "min": 400,
+//!     "max": 900, "p50": 500, "p99": 900, "p999": 900}},
 //!   "events_dropped": 0,
 //!   "events": [{"t_us": 1000, "node": 0, "kind": "BeaconSent", "tech": "ble-beacon"}]
 //! }
 //! ```
+//!
+//! Profiler output has two additional shapes: collapsed-stack flamegraph
+//! text ([`flamegraph_collapsed`], one `stack value` line per frame, the
+//! format `inferno`/`flamegraph.pl` consume) and Chrome-trace phase slices
+//! ([`chrome_phase_slices`], `"X"` events the trace bench splices into its
+//! Perfetto export). [`digest_json`] renders one labeled quantile digest
+//! with its exemplar buckets so a slow-window sample links back to
+//! `FlightRecorder` timelines by trace id.
 
+use crate::digest::QuantileDigest;
 use crate::event::{Event, EventKind};
 use crate::metrics::MetricsRead;
+use crate::profile::{PhaseReport, PhaseSlice};
 use std::fmt::Write as _;
 
 /// A complete point-in-time view of an [`Obs`](crate::Obs) handle: every
@@ -39,6 +51,7 @@ impl Snapshot {
         if self.metrics.counters.is_empty()
             && self.metrics.gauges.is_empty()
             && self.metrics.histograms.is_empty()
+            && self.metrics.digests.is_empty()
         {
             out.push_str("(none)\n");
         }
@@ -49,6 +62,7 @@ impl Snapshot {
             .map(|(n, _)| n.len())
             .chain(self.metrics.gauges.iter().map(|(n, _)| n.len()))
             .chain(self.metrics.histograms.iter().map(|(n, _)| n.len()))
+            .chain(self.metrics.digests.iter().map(|(n, _)| n.len()))
             .max()
             .unwrap_or(0);
         for (name, v) in &self.metrics.counters {
@@ -62,6 +76,13 @@ impl Snapshot {
                 out,
                 "{name:<width$}  n={} min={} p50={} p95={} p99={} max={}",
                 h.count, h.min, h.p50, h.p95, h.p99, h.max
+            );
+        }
+        for (name, d) in &self.metrics.digests {
+            let _ = writeln!(
+                out,
+                "{name:<width$}  n={} min={} p50={} p99={} p999={} max={}",
+                d.count, d.min, d.p50, d.p99, d.p999, d.max
             );
         }
         let _ = writeln!(
@@ -113,6 +134,25 @@ impl Snapshot {
                 h.p50,
                 h.p95,
                 h.p99
+            );
+        }
+        out.push_str("\n  },\n  \"digests\": {");
+        for (i, (name, d)) in self.metrics.digests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p99\": {}, \"p999\": {}}}",
+                json_str(name),
+                d.count,
+                d.sum,
+                d.min,
+                d.max,
+                d.p50,
+                d.p99,
+                d.p999
             );
         }
         let _ =
@@ -232,6 +272,116 @@ pub fn event_json(e: &Event) -> String {
         }
     }
     out.push('}');
+    out
+}
+
+/// Encode one named [`QuantileDigest`] as a flat JSON object, including its
+/// exemplar buckets: `{"name": ..., "count": ..., ..., "exemplars":
+/// [{"le": <bucket upper bound>, "traces": [<trace ids, newest last>]}]}`.
+/// The name is escaped, so labeled digest names (`lat{tech=ble}` or worse)
+/// survive verbatim.
+pub fn digest_json(name: &str, d: &QuantileDigest) -> String {
+    let s = d.summary();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"name\": {}, \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+         \"p50\": {}, \"p99\": {}, \"p999\": {}, \"exemplars\": [",
+        json_str(name),
+        s.count,
+        s.sum,
+        s.min,
+        s.max,
+        s.p50,
+        s.p99,
+        s.p999
+    );
+    for (i, (le, traces)) in d.exemplar_buckets().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"le\": {le}, \"traces\": [");
+        for (j, t) in traces.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{t}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a [`PhaseReport`] as collapsed-stack flamegraph text: one
+/// `stack value` line per frame, semicolon-separated frames, values in
+/// microseconds of *work*.
+///
+/// Serial phases appear as `tick;<phase>`. The parallel fan-out region
+/// cannot be drawn as wall time (its workers overlap), so each worker's
+/// self-timed busy µs appears under `tick;shard-fanout;shard<i>` and the
+/// `tick;shard-fanout` frame itself carries only the coordination remainder
+/// (wall minus the busiest worker) — the whole graph then sums to total
+/// serial wall plus total parallel work.
+pub fn flamegraph_collapsed(report: &PhaseReport) -> String {
+    let mut out = String::new();
+    for stat in &report.phases {
+        if stat.phase == crate::profile::Phase::ShardFanout {
+            continue;
+        }
+        if stat.total_us > 0 {
+            let _ = writeln!(out, "tick;{} {}", stat.phase.name(), stat.total_us);
+        }
+    }
+    let max_busy = report.shard_busy_us.iter().copied().max().unwrap_or(0);
+    let overhead = report.parallel_wall_us.saturating_sub(max_busy);
+    if overhead > 0 {
+        let _ = writeln!(out, "tick;shard-fanout {overhead}");
+    }
+    for (i, busy) in report.shard_busy_us.iter().enumerate() {
+        if *busy > 0 {
+            let _ = writeln!(out, "tick;shard-fanout;shard{i} {busy}");
+        }
+    }
+    out
+}
+
+/// Parse collapsed-stack text back into `(stack, value)` rows — the
+/// round-trip counterpart of [`flamegraph_collapsed`], also handy for
+/// asserting on exported profiles. Lines without a trailing integer field
+/// are skipped.
+pub fn parse_collapsed(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter_map(|line| {
+            let (stack, value) = line.rsplit_once(' ')?;
+            let value = value.parse().ok()?;
+            if stack.is_empty() {
+                return None;
+            }
+            Some((stack.to_string(), value))
+        })
+        .collect()
+}
+
+/// Encode profiler [`PhaseSlice`]s as Chrome-trace `"X"` (complete) events
+/// under the given `pid`/`tid`, returned as comma-joined JSON objects with
+/// **no** surrounding brackets so callers can splice them into an existing
+/// `traceEvents` array.
+pub fn chrome_phase_slices(slices: &[PhaseSlice], pid: u64, tid: u64) -> String {
+    let mut out = String::new();
+    for (i, s) in slices.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{pid},\"tid\":{tid}}}",
+            json_str(s.phase.name()),
+            s.start_us,
+            s.dur_us
+        );
+    }
     out
 }
 
@@ -443,5 +593,91 @@ mod tests {
         let j = event_json(&expired);
         assert!(j.contains("\"kind\": \"TtlExpired\""));
         assert!(j.contains("\"hops\": 8"));
+    }
+
+    #[test]
+    fn digests_render_in_snapshot_text_and_json() {
+        let obs = Obs::new();
+        let d = obs.digest("mgr.delivery_latency_us");
+        for v in [400u64, 500, 900] {
+            d.record(v);
+        }
+        let snap = obs.snapshot();
+        assert!(snap.to_text().contains("mgr.delivery_latency_us"));
+        assert!(snap.to_text().contains("p999="));
+        let json = snap.to_json();
+        assert!(json.contains("\"digests\": {"));
+        assert!(json.contains("\"mgr.delivery_latency_us\": {\"count\": 3"));
+        assert!(json.contains("\"p999\":"));
+    }
+
+    #[test]
+    fn digest_json_escapes_labeled_and_hostile_names() {
+        let mut d = QuantileDigest::new();
+        d.record_with_exemplar(1_000, 0xABCD);
+        // A labeled name with braces passes through; quotes and backslashes
+        // must be escaped into a valid JSON string literal.
+        let labeled = digest_json("lat{tech=ble-beacon}", &d);
+        assert!(labeled.starts_with("{\"name\": \"lat{tech=ble-beacon}\""));
+        let hostile = digest_json("evil \"quoted\\name\"\n", &d);
+        assert!(hostile.contains("\"name\": \"evil \\\"quoted\\\\name\\\"\\n\""));
+        assert!(hostile.contains("\"traces\": [43981]"), "exemplar trace id exported: {hostile}");
+    }
+
+    #[test]
+    fn empty_digest_exports_cleanly() {
+        let d = QuantileDigest::new();
+        let j = digest_json("nothing", &d);
+        assert_eq!(
+            j,
+            "{\"name\": \"nothing\", \"count\": 0, \"sum\": 0, \"min\": 0, \"max\": 0, \
+             \"p50\": 0, \"p99\": 0, \"p999\": 0, \"exemplars\": []}"
+        );
+        // An empty profiler likewise produces an empty (but valid) profile.
+        let report = crate::profile::TickProfiler::new().report();
+        assert_eq!(flamegraph_collapsed(&report), "");
+        assert_eq!(parse_collapsed(&flamegraph_collapsed(&report)), vec![]);
+        assert_eq!(chrome_phase_slices(&report.slices, 1, 1), "");
+    }
+
+    #[test]
+    fn collapsed_stack_round_trips() {
+        use crate::profile::{Phase, TickProfiler};
+        let mut p = TickProfiler::new();
+        {
+            let _s = p.scope(Phase::StagedCommit);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        p.record_shard_busy(0, 3_000_000);
+        p.record_shard_busy(1, 1_000_000);
+        let mut report = p.report();
+        report.phases[Phase::ShardFanout as usize].total_us = 4_000;
+        report.parallel_wall_us = 4_000;
+        let text = flamegraph_collapsed(&report);
+        let rows = parse_collapsed(&text);
+        assert_eq!(rows.len(), text.lines().count(), "every emitted line parses back");
+        let find = |stack: &str| rows.iter().find(|(s, _)| s == stack).map(|(_, v)| *v);
+        assert!(find("tick;staged-commit").unwrap() >= 1_000);
+        assert_eq!(find("tick;shard-fanout;shard0"), Some(3_000));
+        assert_eq!(find("tick;shard-fanout;shard1"), Some(1_000));
+        assert_eq!(find("tick;shard-fanout"), Some(1_000), "wall minus busiest worker");
+        // Malformed lines are skipped, not mis-parsed.
+        assert_eq!(parse_collapsed("no-value-here\n\na;b 12\n"), vec![("a;b".into(), 12)]);
+    }
+
+    #[test]
+    fn chrome_phase_slices_are_spliceable_x_events() {
+        use crate::profile::{Phase, PhaseSlice};
+        let slices = [
+            PhaseSlice { phase: Phase::BeaconPlan, start_us: 10, dur_us: 5 },
+            PhaseSlice { phase: Phase::StagedCommit, start_us: 16, dur_us: 2 },
+        ];
+        let json = chrome_phase_slices(&slices, 1, 99);
+        let wrapped = format!("[{json}]");
+        assert!(wrapped.contains("\"name\":\"beacon-plan\""));
+        assert!(wrapped.contains("\"ph\":\"X\""));
+        assert!(wrapped.contains("\"ts\":16"));
+        assert!(wrapped.contains("\"tid\":99"));
+        assert_eq!(json.matches("},{").count(), 1, "comma-joined, no brackets");
     }
 }

@@ -16,6 +16,13 @@
 //!   [`Sample`]s (counter deltas, gauge watermarks, histogram digests) that
 //!   downsamples in place when full, plus bounded-cardinality labeled metrics
 //!   ([`MetricsRegistry::counter_with`] and friends).
+//! * **Quantile digests** — mergeable log-linear [`QuantileDigest`]s with
+//!   bounded relative error ([`RELATIVE_ERROR_BOUND`]) and per-bucket trace
+//!   exemplars, for paths where percentiles matter.
+//! * **Profiler** — a [`TickProfiler`] attributing event-loop wall time to
+//!   a fixed [`Phase`] taxonomy, with per-shard utilization, flamegraph
+//!   ([`flamegraph_collapsed`]) and Chrome-trace ([`chrome_phase_slices`])
+//!   export.
 //!
 //! Snapshots render as aligned text ([`Snapshot::to_text`]) or hand-rolled
 //! JSON ([`Snapshot::to_json`]) — this crate deliberately depends on nothing
@@ -42,17 +49,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod digest;
 mod event;
 mod export;
 mod metrics;
+mod profile;
 mod span;
 mod timeseries;
 
+pub use digest::{
+    Digest, DigestSummary, QuantileDigest, EXEMPLARS_PER_BUCKET, RELATIVE_ERROR_BOUND, SUBBUCKETS,
+};
 pub use event::{Event, EventKind, EventRing};
-pub use export::{event_json, Snapshot};
+pub use export::{
+    chrome_phase_slices, digest_json, event_json, flamegraph_collapsed, parse_collapsed, Snapshot,
+};
 pub use metrics::{
     labeled_name, split_labels, Counter, Gauge, GaugeRead, Histogram, HistogramSummary,
     MetricsRead, MetricsRegistry, MAX_LABEL_SETS,
+};
+pub use profile::{
+    Phase, PhaseReport, PhaseScope, PhaseSlice, PhaseStat, ScopedPhase, TickProfiler, PHASE_COUNT,
 };
 pub use span::{ScopeTimer, Stopwatch};
 pub use timeseries::{Sample, SeriesRing};
@@ -110,6 +127,12 @@ impl Obs {
     /// Get or create the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
         self.inner.metrics.histogram(name)
+    }
+
+    /// Get or create the quantile digest named `name` (bounded-error
+    /// percentiles with exemplar support — see [`QuantileDigest`]).
+    pub fn digest(&self, name: &str) -> Digest {
+        self.inner.metrics.digest(name)
     }
 
     /// Get or create the counter `base` sliced by `labels` (bounded

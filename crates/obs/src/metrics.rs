@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::digest::{Digest, DigestSummary};
+
 /// A monotonically increasing counter.
 #[derive(Clone, Debug, Default)]
 pub struct Counter(Arc<AtomicU64>);
@@ -268,6 +270,7 @@ struct Registered {
     counters: Vec<(String, Counter)>,
     gauges: Vec<(String, Gauge)>,
     histograms: Vec<(String, Histogram)>,
+    digests: Vec<(String, Digest)>,
 }
 
 /// Maximum number of distinct label sets a single base metric name may grow.
@@ -431,6 +434,29 @@ impl MetricsRegistry {
         h
     }
 
+    /// Get or create the quantile digest named `name` (log-linear buckets
+    /// with bounded relative error and exemplar support — use where
+    /// percentiles matter; see [`crate::QuantileDigest`]).
+    pub fn digest(&self, name: &str) -> Digest {
+        let mut reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, d)) = reg.digests.iter().find(|(n, _)| n == name) {
+            return d.clone();
+        }
+        let d = Digest::new();
+        reg.digests.push((name.to_string(), d.clone()));
+        d
+    }
+
+    /// Shared handle for every registered digest (name → handle), sorted by
+    /// name.  The sampler uses this to take windowed snapshots.
+    pub fn digests(&self) -> Vec<(String, Digest)> {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, Digest)> =
+            reg.digests.iter().map(|(n, d)| (n.clone(), d.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Sorted snapshot of every registered metric.
     pub fn read(&self) -> MetricsRead {
         let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -446,10 +472,13 @@ impl MetricsRegistry {
             .collect();
         let mut histograms: Vec<(String, HistogramSummary)> =
             reg.histograms.iter().map(|(n, h)| (n.clone(), h.summary())).collect();
+        let mut digests: Vec<(String, DigestSummary)> =
+            reg.digests.iter().map(|(n, d)| (n.clone(), d.summary())).collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
-        MetricsRead { counters, gauges, histograms }
+        digests.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsRead { counters, gauges, histograms, digests }
     }
 
     /// Shared handle for every registered gauge (name → handle), sorted by
@@ -484,6 +513,8 @@ pub struct MetricsRead {
     pub gauges: Vec<(String, GaugeRead)>,
     /// Histogram summaries.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Quantile digest summaries.
+    pub digests: Vec<(String, DigestSummary)>,
 }
 
 #[cfg(test)]

@@ -50,6 +50,15 @@ pub struct WindowStats {
     pub nodes_down: usize,
     /// Fleet size, for the critical churn fraction.
     pub fleet: usize,
+    /// Windowed p99 of `mgr.delivery_latency_us` (enqueue → DataSent), from
+    /// the quantile digest's per-window delta — **not** a lifetime mean. A
+    /// `(count, sum)` histogram can only yield the mean, and a mean hides
+    /// tail collapse: 95 sends at 100ms plus 5 at 10s average ~600ms while
+    /// the p99 reads 10s. Zero when no digest samples landed this window.
+    pub latency_p99_us: u64,
+    /// Delivery-latency samples recorded this window; below
+    /// [`HealthConfig::min_attempts`] the p99 carries no signal.
+    pub latency_samples: u64,
 }
 
 /// Thresholds separating the three [`HealthState`]s.
@@ -66,6 +75,17 @@ pub struct HealthConfig {
     pub degraded_queue_depth: i64,
     /// Beacon staleness beyond which discovery is considered degraded.
     pub degraded_beacon_stale_us: u64,
+    /// Windowed delivery-latency p99 beyond which the fleet is degraded.
+    ///
+    /// Default derivation (2s): the retry policy's terminal path is an ack
+    /// deadline of 250ms and exponential backoff 200ms → 2s (factor 2,
+    /// 6 attempts for a reliable send), so a *first-attempt* success lands
+    /// well under 1s while a send that burns two or more retry passes
+    /// crosses ~2s on its way to the ~6.5s worst case. A p99 at 2s
+    /// therefore means at least 1% of traffic is deep in the retry ladder —
+    /// tail degradation the old mean-based reading could not see (the mean
+    /// of 99 fast sends and 1 slow one stays comfortably sub-second).
+    pub degraded_latency_p99_us: u64,
     /// Any node down ⇒ degraded; at or above this *fraction* of the fleet
     /// down ⇒ critical.
     pub critical_down_fraction: f64,
@@ -88,6 +108,7 @@ impl Default for HealthConfig {
             min_attempts: 5,
             degraded_queue_depth: 64,
             degraded_beacon_stale_us: 5_000_000,
+            degraded_latency_p99_us: 2_000_000,
             critical_down_fraction: 0.25,
             recovery_band: 0.05,
         }
@@ -103,8 +124,8 @@ pub struct HealthEvent {
     pub from: HealthState,
     /// State after.
     pub to: HealthState,
-    /// Stable cause slug: `delivery-ratio`, `queue-depth`,
-    /// `beacon-staleness`, `node-down`, or `recovered`.
+    /// Stable cause slug: `delivery-ratio`, `delivery-latency`,
+    /// `queue-depth`, `beacon-staleness`, `node-down`, or `recovered`.
     pub cause: &'static str,
 }
 
@@ -141,6 +162,7 @@ impl HealthMonitor {
         let degraded_ratio = self.cfg.degraded_delivery_ratio * (1.0 + band);
         let queue_depth = (self.cfg.degraded_queue_depth as f64 * (1.0 - band)) as i64;
         let stale_us = (self.cfg.degraded_beacon_stale_us as f64 * (1.0 - band)) as u64;
+        let latency_us = (self.cfg.degraded_latency_p99_us as f64 * (1.0 - band)) as u64;
         let critical_frac = self.cfg.critical_down_fraction * (1.0 - band);
 
         let ratio = if w.attempted >= self.cfg.min_attempts {
@@ -162,6 +184,10 @@ impl HealthMonitor {
             if r < degraded_ratio {
                 return (HealthState::Degraded, "delivery-ratio");
             }
+        }
+        // Tail latency: like the ratio, only meaningful with enough samples.
+        if w.latency_samples >= self.cfg.min_attempts && w.latency_p99_us > latency_us {
+            return (HealthState::Degraded, "delivery-latency");
         }
         if w.nodes_down > 0 {
             return (HealthState::Degraded, "node-down");
@@ -215,14 +241,7 @@ mod tests {
     use super::*;
 
     fn quiet(fleet: usize) -> WindowStats {
-        WindowStats {
-            attempted: 0,
-            delivered: 0,
-            queue_hi: 0,
-            beacon_stale_us: 0,
-            nodes_down: 0,
-            fleet,
-        }
+        WindowStats { fleet, ..Default::default() }
     }
 
     #[test]
@@ -333,6 +352,37 @@ mod tests {
         // And a fresh collapse re-escalates with no delay.
         let ev = m.observe(3, &bad).expect("re-escalation");
         assert_eq!(ev.to, HealthState::Critical);
+    }
+
+    #[test]
+    fn tail_latency_degrades_even_when_every_send_lands() {
+        // 100% delivery, but the windowed p99 shows ≥1% of traffic deep in
+        // the retry ladder — the signal a mean would have hidden.
+        let mut m = HealthMonitor::default();
+        let w = WindowStats {
+            attempted: 200,
+            delivered: 200,
+            latency_p99_us: 4_000_000,
+            latency_samples: 200,
+            ..quiet(100)
+        };
+        let ev = m.observe(1, &w).expect("transition");
+        assert_eq!((ev.to, ev.cause), (HealthState::Degraded, "delivery-latency"));
+        // Recovery needs to clear the sticky band: 2s × 0.95 = 1.9s, so a
+        // p99 of 1.95s holds the state and 1.5s releases it.
+        let marginal =
+            WindowStats { latency_p99_us: 1_950_000, latency_samples: 200, ..quiet(100) };
+        assert_eq!(m.observe(2, &marginal), None, "inside the band: still degraded");
+        let good = WindowStats { latency_p99_us: 1_500_000, latency_samples: 200, ..quiet(100) };
+        let ev = m.observe(3, &good).expect("recovery");
+        assert_eq!((ev.to, ev.cause), (HealthState::Healthy, "recovered"));
+    }
+
+    #[test]
+    fn sparse_latency_windows_carry_no_signal() {
+        let mut m = HealthMonitor::default();
+        let w = WindowStats { latency_p99_us: 60_000_000, latency_samples: 2, ..quiet(100) };
+        assert_eq!(m.observe(1, &w), None, "2 slow sends are noise, not an outage");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use bytes::Bytes;
-use omni_obs::{Counter, EventKind, Gauge, Histogram, Obs};
+use omni_obs::{Counter, EventKind, Gauge, Histogram, Obs, Phase, PhaseScope, TickProfiler};
 use omni_wire::{BleAddress, MeshAddress, NfcAddress, TechType};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -320,6 +320,11 @@ impl Ord for Scheduled {
 /// duty, exactly what the serial path snapshots in `ble_adv_tick`.
 type AdvPlan = Vec<(DeviceId, f64)>;
 
+/// One fan-out worker's result: its shard index, the planned advs (batch
+/// slot → plan), and its self-timed busy nanoseconds (0 when profiling is
+/// off).
+type ShardPlans = (usize, Vec<(usize, AdvPlan)>, u64);
+
 /// One event staged for commit: popped from the heap in `(time, seq)`
 /// order, possibly carrying a fan-out plan from the parallel phase.
 struct Staged {
@@ -403,6 +408,12 @@ pub struct Runner {
     /// Events popped from the heap in `(time, seq)` order awaiting serial
     /// commit, with precomputed plans for the BLE advertising ticks.
     staged: VecDeque<Staged>,
+    /// Wall-clock tick-phase profiler (off by default). Boxed: the digest
+    /// arrays are large and most runners never profile.
+    profiler: Option<Box<TickProfiler>>,
+    /// The coalesced commit-phase scope currently being charged (see
+    /// [`Runner::profile_event`]). Always `None` when `profiler` is.
+    open_scope: Option<PhaseScope>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -450,6 +461,8 @@ impl Runner {
             topo_epoch: 0,
             staged_epoch: 0,
             staged: VecDeque::new(),
+            profiler: None,
+            open_scope: None,
         };
         // Materialize configured fault windows as engine events. A default
         // (empty) FaultConfig schedules nothing, keeping the event sequence
@@ -531,6 +544,41 @@ impl Runner {
     /// The attached observability handle, if any.
     pub fn obs(&self) -> Option<&Obs> {
         self.obs.as_ref().map(|o| &o.obs)
+    }
+
+    /// Enables the wall-clock tick-phase profiler (off by default).
+    ///
+    /// The profiler attributes runner wall time to the [`Phase`] taxonomy
+    /// (beacon planning, sharded fan-out, staged commit, fault evaluation,
+    /// medium pump, timer drain, telemetry sampling), tracks per-shard busy
+    /// time for utilization and Amdahl estimates, and keeps per-phase
+    /// latency digests. It needs no [`Obs`] handle: its state lives outside
+    /// the metrics registry on purpose.
+    ///
+    /// **Determinism invariant** (DESIGN.md §5j, enforced by the
+    /// `profiler_invariance` test suite): the profiler only reads
+    /// `std::time::Instant` and writes its own buffers — never the RNG, the
+    /// event sequence, the metrics registry, or the event ring — so a
+    /// profiler-on run produces byte-identical simulation artifacts to a
+    /// profiler-off run of the same seed. Wall-clock measurements leave only
+    /// through [`TickProfiler::report`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a profiler is already enabled.
+    pub fn enable_profiler(&mut self) {
+        assert!(self.profiler.is_none(), "profiler already enabled");
+        self.profiler = Some(Box::new(TickProfiler::new()));
+    }
+
+    /// The tick-phase profiler, when [`Runner::enable_profiler`] was called.
+    pub fn profiler(&self) -> Option<&TickProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Mutable profiler access (to set slice capacity for trace export).
+    pub fn profiler_mut(&mut self) -> Option<&mut TickProfiler> {
+        self.profiler.as_deref_mut()
     }
 
     /// The simulation configuration.
@@ -739,13 +787,83 @@ impl Runner {
         self.devices[dev.0].ble_scan_duty.is_some()
     }
 
+    /// Maps an engine event to the profiler phase its commit is charged to
+    /// (DESIGN.md §5j). Deliveries and mobility commit under
+    /// [`Phase::StagedCommit`]; configured fault windows under
+    /// [`Phase::FaultEval`]; timers, telemetry, and the medium machinery
+    /// under their own phases. Planning phases ([`Phase::BeaconPlan`],
+    /// [`Phase::ShardFanout`]) are measured inside `refill_staged`, not
+    /// here.
+    fn phase_of(ev: &Engine) -> Phase {
+        match ev {
+            Engine::StartStack { .. }
+            | Engine::BleAdv { .. }
+            | Engine::BleOneShotDeliver { .. }
+            | Engine::BleOneShotSent { .. }
+            | Engine::NfcDeliver { .. }
+            | Engine::Teleport { .. }
+            | Engine::WalkStep { .. } => Phase::StagedCommit,
+            Engine::Timer { .. } => Phase::TimerDrain,
+            Engine::WifiScanDone { .. }
+            | Engine::WifiJoinEcho { .. }
+            | Engine::WifiJoinDone { .. }
+            | Engine::TcpConnectDone { .. }
+            | Engine::TcpConnectFail { .. }
+            | Engine::FlowBoundary { .. }
+            | Engine::McastDone { .. }
+            | Engine::InfraChunkDone { .. } => Phase::MediumPump,
+            Engine::PartitionStart { .. } | Engine::ChurnDown { .. } | Engine::ChurnUp { .. } => {
+                Phase::FaultEval
+            }
+            Engine::Sample => Phase::TelemetrySample,
+        }
+    }
+
+    /// Charges the event about to be handled to its phase, coalescing
+    /// consecutive same-phase events into one open scope so profiling costs
+    /// two clock reads per phase *transition*, not two per event. The tick
+    /// loop drains long same-phase runs (a staged batch commits thousands
+    /// of deliveries back to back), so this keeps profiler overhead within
+    /// the ≤5% budget the `profile` bench enforces. Phase totals are exact
+    /// either way; the per-phase latency quantiles describe contiguous
+    /// same-phase runs rather than single events.
+    ///
+    /// Token (not RAII) scope: `handle` needs `&mut self`, so the
+    /// measurement cannot hold a profiler borrow across it.
+    fn profile_event(&mut self, ev: &Engine) {
+        let phase = Self::phase_of(ev);
+        if self.open_scope.as_ref().is_some_and(|s| s.phase() == phase) {
+            return;
+        }
+        if let Some(p) = self.profiler.as_deref_mut() {
+            if let Some(s) = self.open_scope.take() {
+                p.finish(s);
+            }
+            self.open_scope = Some(p.begin(phase));
+        }
+    }
+
+    /// Closes the coalesced scope, if any: at loop exit, and before any
+    /// wall time that belongs to a different phase (the staged refill).
+    fn profile_flush(&mut self) {
+        if let Some(s) = self.open_scope.take() {
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.finish(s);
+            }
+        }
+    }
+
     /// Runs the simulation up to and including `t`.
     pub fn run_until(&mut self, t: SimTime) {
         while let Some((sch, plan)) = self.pop_due(t) {
             debug_assert!(sch.at >= self.now, "event queue went backwards");
             self.now = sch.at;
+            if self.profiler.is_some() {
+                self.profile_event(&sch.ev);
+            }
             self.handle(sch.ev, plan);
         }
+        self.profile_flush();
         self.now = t;
     }
 
@@ -760,8 +878,12 @@ impl Runner {
     pub fn run_until_idle(&mut self, cap: SimTime) -> SimTime {
         while let Some((sch, plan)) = self.pop_due(cap) {
             self.now = sch.at;
+            if self.profiler.is_some() {
+                self.profile_event(&sch.ev);
+            }
             self.handle(sch.ev, plan);
         }
+        self.profile_flush();
         // Distinguish "drained" (clock stays at the last event) from "next
         // event beyond the cap" (clock advances to the cap), matching the
         // pre-shard loop exactly.
@@ -817,6 +939,12 @@ impl Runner {
     /// touches an RNG, a counter, or an event append.
     fn refill_staged(&mut self, cap: SimTime) {
         debug_assert!(self.staged.is_empty());
+        // Close the coalesced commit scope: refill time belongs to the
+        // planning phases, not whatever event ran last.
+        self.profile_flush();
+        // Serial planning time (pops, grouping, post-join assembly) is
+        // charged to BeaconPlan; the parallel region alone to ShardFanout.
+        let mut plan_scope = self.profiler.as_ref().map(|p| p.begin(Phase::BeaconPlan));
         let mut batch: Vec<Scheduled> = Vec::with_capacity(STAGE_BATCH);
         while batch.len() < STAGE_BATCH {
             match self.heap.peek() {
@@ -828,7 +956,13 @@ impl Runner {
             }
         }
         if batch.is_empty() {
+            if let (Some(s), Some(p)) = (plan_scope, self.profiler.as_deref_mut()) {
+                p.finish(s);
+            }
             return;
+        }
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.record_batch_occupancy(batch.len() as u64);
         }
         self.staged_epoch = self.topo_epoch;
         let jobs: Vec<(usize, DeviceId)> = batch
@@ -856,32 +990,58 @@ impl Runner {
                     plans[i] = Some(plan);
                 }
             } else {
+                let profile = self.profiler.is_some();
                 let mut groups: Vec<Vec<(usize, DeviceId, AdvPlan)>> =
                     vec![Vec::new(); self.shards];
                 for (i, dev) in jobs {
                     let buf = pool.pop().unwrap_or_default();
                     groups[world.shard_of(dev, self.shards)].push((i, dev, buf));
                 }
-                let done: Vec<Vec<(usize, AdvPlan)>> = std::thread::scope(|scope| {
+                // Grouping done: close the serial scope before the fan-out.
+                if let Some(s) = plan_scope.take() {
+                    self.profiler.as_deref_mut().expect("scope implies profiler").finish(s);
+                }
+                let fanout_scope = self.profiler.as_ref().map(|p| p.begin(Phase::ShardFanout));
+                let done: Vec<ShardPlans> = std::thread::scope(|scope| {
                     let workers: Vec<_> = groups
                         .into_iter()
-                        .filter(|g| !g.is_empty())
-                        .map(|group| {
+                        .enumerate()
+                        .filter(|(_, g)| !g.is_empty())
+                        .map(|(shard, group)| {
                             scope.spawn(move || {
+                                // Workers self-time (only when profiling)
+                                // and hand busy nanoseconds back for the
+                                // serial merge at commit — the profiler
+                                // itself is never shared across threads.
+                                let t0 = profile.then(std::time::Instant::now);
                                 let mut ids = Vec::new();
-                                group
+                                let out: Vec<(usize, AdvPlan)> = group
                                     .into_iter()
                                     .map(|(i, dev, mut plan)| {
                                         plan_adv(world, devices, range, dev, &mut ids, &mut plan);
                                         (i, plan)
                                     })
-                                    .collect()
+                                    .collect();
+                                let busy_ns = t0.map_or(0, |t| {
+                                    t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+                                });
+                                (shard, out, busy_ns)
                             })
                         })
                         .collect();
                     workers.into_iter().map(|w| w.join().expect("shard worker panicked")).collect()
                 });
-                for group in done {
+                if let (Some(s), Some(p)) = (fanout_scope, self.profiler.as_deref_mut()) {
+                    p.finish(s);
+                }
+                // Post-join assembly is serial planning again.
+                plan_scope = self.profiler.as_ref().map(|p| p.begin(Phase::BeaconPlan));
+                for (shard, group, busy_ns) in done {
+                    if busy_ns > 0 {
+                        if let Some(p) = self.profiler.as_deref_mut() {
+                            p.record_shard_busy(shard, busy_ns);
+                        }
+                    }
                     for (i, plan) in group {
                         plans[i] = Some(plan);
                     }
@@ -890,6 +1050,9 @@ impl Runner {
             self.plan_pool = pool;
         }
         self.staged.extend(batch.into_iter().zip(plans).map(|(sch, plan)| Staged { sch, plan }));
+        if let (Some(s), Some(p)) = (plan_scope, self.profiler.as_deref_mut()) {
+            p.finish(s);
+        }
     }
 
     // ------------------------------------------------------------------

@@ -18,8 +18,19 @@
 //!   except wall-clock instruments (`*.wait_us`), which are excluded the
 //!   same way the `FlightRecorder` drops wall-clock events, keeping the
 //!   stream sim-deterministic,
-//! * derives fleet [`WindowStats`] (delivery ratio, queue high-water,
-//!   beacon staleness, churn) and feeds the [`HealthMonitor`].
+//! * snapshots every **quantile digest** and subtracts the previous
+//!   snapshot per bucket ([`QuantileDigest::windowed_since`]), so the
+//!   reported p50/p99/p999 describe *this window's* tail rather than the
+//!   lifetime blend (same wall-clock exclusion),
+//! * derives fleet [`WindowStats`] (delivery ratio, windowed delivery
+//!   latency p99, queue high-water, beacon staleness, churn) and feeds the
+//!   [`HealthMonitor`].
+//!
+//! The JSONL stream opens with a single `{"header":true,..}` line carrying
+//! the sampling interval, the ring capacity, and the current
+//! [`Sampler::resolution_us`] — the coarsest retained window width, which
+//! is what bounds how precisely fault spans reconstruct after rings
+//! downsample.
 //!
 //! Synthetic series `sim.nodes_down` and `sim.health` record churn and the
 //! health verdict per window, so fault windows can be reconstructed from the
@@ -34,7 +45,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use omni_obs::{split_labels, Obs, Sample, SeriesRing};
+use omni_obs::{split_labels, Obs, QuantileDigest, Sample, SeriesRing};
 
 use crate::health::{HealthConfig, HealthEvent, HealthMonitor, HealthState, WindowStats};
 use crate::time::SimDuration;
@@ -87,6 +98,11 @@ pub struct Sampler {
     prev_counters: HashMap<String, u64>,
     /// Previous `(count, sum)` per histogram, for windowed digests.
     prev_hists: HashMap<String, (u64, u64)>,
+    /// Previous full snapshot per quantile digest, so each window's
+    /// quantiles come from a true per-bucket delta
+    /// ([`QuantileDigest::windowed_since`]) — a windowed p99, not a
+    /// lifetime one.
+    prev_digests: HashMap<String, QuantileDigest>,
     last_t_us: u64,
     /// End of the last window in which any beacon was transmitted.
     last_beacon_us: Option<u64>,
@@ -104,6 +120,7 @@ impl Sampler {
             series: BTreeMap::new(),
             prev_counters: HashMap::new(),
             prev_hists: HashMap::new(),
+            prev_digests: HashMap::new(),
             last_t_us: 0,
             last_beacon_us: None,
             seq: 0,
@@ -138,14 +155,36 @@ impl Sampler {
         self.series.keys().map(String::as_str).collect()
     }
 
-    /// The JSONL stream accumulated so far (one object per sample window).
-    pub fn to_jsonl(&self) -> &str {
-        &self.jsonl
+    /// The coarsest retained series resolution in microseconds: the max of
+    /// [`SeriesRing::resolution_us`] over every recorded series (0 before
+    /// the first sample). Equals the sampling interval until some ring
+    /// overflows its capacity and downsamples; consumers reconstructing
+    /// fault windows with [`SeriesRing::spans_where`] must treat span
+    /// boundaries as accurate only to within this width.
+    pub fn resolution_us(&self) -> u64 {
+        self.series.values().map(SeriesRing::resolution_us).max().unwrap_or(0)
     }
 
-    /// Writes the JSONL stream to a file.
+    /// The JSONL stream accumulated so far: one `{"header":true,..}` line
+    /// describing the stream (interval, ring capacity, and the current
+    /// [`Sampler::resolution_us`]), then one object per sample window.
+    ///
+    /// The header is composed at read time because the resolution coarsens
+    /// as rings downsample; everything in it is sim-deterministic, so the
+    /// full stream stays byte-identical across same-seed runs.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"header\":true,\"interval_us\":{},\"series_capacity\":{},\"resolution_us\":{}}}\n{}",
+            self.cfg.every.as_micros(),
+            self.cfg.series_capacity,
+            self.resolution_us(),
+            self.jsonl
+        )
+    }
+
+    /// Writes the JSONL stream (header line included) to a file.
     pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.jsonl.as_bytes())
+        std::fs::write(path, self.to_jsonl().as_bytes())
     }
 
     fn push(&mut self, name: &str, s: Sample) {
@@ -260,6 +299,49 @@ impl Sampler {
             ));
         }
 
+        // Quantile digests → windowed per-bucket deltas, so the reported
+        // quantiles describe *this window's* tail, not the lifetime blend.
+        let mut digest_lines = String::new();
+        let mut latency_p99_us = 0u64;
+        let mut latency_samples = 0u64;
+        for (name, d) in obs.metrics().digests() {
+            if wall_clock(&name) {
+                continue;
+            }
+            let snap = d.snapshot();
+            let windowed = match self.prev_digests.get(&name) {
+                Some(prev) => snap.windowed_since(prev),
+                None => snap.clone(),
+            };
+            self.push(
+                &name,
+                Sample {
+                    t_us,
+                    window_us,
+                    count: windowed.count(),
+                    sum: windowed.sum() as f64,
+                    min: windowed.min() as f64,
+                    max: windowed.max() as f64,
+                },
+            );
+            if name == "mgr.delivery_latency_us" {
+                latency_p99_us = windowed.quantile(0.99);
+                latency_samples = windowed.count();
+            }
+            if !digest_lines.is_empty() {
+                digest_lines.push(',');
+            }
+            digest_lines.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}",
+                escape(&name),
+                windowed.count(),
+                windowed.quantile(0.50),
+                windowed.quantile(0.99),
+                windowed.quantile(0.999)
+            ));
+            self.prev_digests.insert(name, snap);
+        }
+
         // Fleet window → health verdict.
         let beacon_stale_us = match self.last_beacon_us {
             Some(t) => t_us.saturating_sub(t),
@@ -274,6 +356,8 @@ impl Sampler {
             beacon_stale_us,
             nodes_down,
             fleet,
+            latency_p99_us,
+            latency_samples,
         };
         let transition = self.health.observe(t_us, &stats);
         let state = self.health.state();
@@ -295,7 +379,7 @@ impl Sampler {
         );
 
         self.jsonl.push_str(&format!(
-            "{{\"seq\":{},\"t_us\":{},\"window_us\":{},\"health\":\"{}\",\"nodes_down\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"hist\":{{{}}}}}\n",
+            "{{\"seq\":{},\"t_us\":{},\"window_us\":{},\"health\":\"{}\",\"nodes_down\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"hist\":{{{}}},\"digests\":{{{}}}}}\n",
             self.seq,
             t_us,
             window_us,
@@ -303,7 +387,8 @@ impl Sampler {
             nodes_down,
             counter_lines,
             gauge_lines,
-            hist_lines
+            hist_lines,
+            digest_lines
         ));
         self.seq += 1;
         self.last_t_us = t_us;
@@ -381,19 +466,94 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_is_one_object_per_window() {
+    fn jsonl_is_a_header_then_one_object_per_window() {
         let obs = Obs::new();
         obs.counter("x").inc();
         let mut s = sampler();
         s.sample(&obs, 1_000_000, 1, 4);
         s.sample(&obs, 2_000_000, 0, 4);
-        let lines: Vec<&str> = s.to_jsonl().lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("{\"seq\":0,\"t_us\":1000000,"));
-        assert!(lines[0].contains("\"nodes_down\":1"));
-        assert!(lines[0].contains("\"counters\":{\"x\":1}"));
-        assert!(lines[1].contains("\"counters\":{\"x\":0}"));
+        let jsonl = s.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one line per window");
+        // The default config samples every second with no downsampling yet,
+        // so the surfaced resolution is the native window width.
+        assert_eq!(
+            lines[0],
+            "{\"header\":true,\"interval_us\":1000000,\"series_capacity\":256,\
+             \"resolution_us\":1000000}"
+        );
+        assert!(lines[1].starts_with("{\"seq\":0,\"t_us\":1000000,"));
+        assert!(lines[1].contains("\"nodes_down\":1"));
+        assert!(lines[1].contains("\"counters\":{\"x\":1}"));
+        assert!(lines[2].contains("\"counters\":{\"x\":0}"));
         assert_eq!(s.samples_taken(), 2);
+    }
+
+    #[test]
+    fn header_resolution_tracks_downsampling() {
+        let obs = Obs::new();
+        obs.counter("x").inc();
+        let mut s = Sampler::new(SamplerConfig { series_capacity: 4, ..SamplerConfig::default() });
+        assert_eq!(s.resolution_us(), 0, "no samples yet");
+        for t in 1..=8u64 {
+            s.sample(&obs, t * 1_000_000, 0, 4);
+        }
+        // Capacity 4 with 8 windows: the ring merged pairs twice, so spans
+        // are only trustworthy to 4s — and the header says so.
+        assert_eq!(s.resolution_us(), 4_000_000);
+        assert!(s.to_jsonl().starts_with(
+            "{\"header\":true,\"interval_us\":1000000,\"series_capacity\":4,\
+             \"resolution_us\":4000000}\n"
+        ));
+    }
+
+    #[test]
+    fn digest_windows_are_per_bucket_deltas_not_lifetime() {
+        let obs = Obs::new();
+        let d = obs.digest("mgr.delivery_latency_us");
+        let mut s = sampler();
+        // Window 1: all fast.
+        for _ in 0..100 {
+            d.record(1_000);
+        }
+        s.sample(&obs, 1_000_000, 0, 10);
+        // Window 2: all slow. A lifetime p99 would still see the fast half;
+        // the windowed p99 must not.
+        for _ in 0..100 {
+            d.record(3_000_000);
+        }
+        s.sample(&obs, 2_000_000, 0, 10);
+        let jsonl = s.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[1].contains("\"digests\":{\"mgr.delivery_latency_us\":{\"count\":100,"));
+        let ring = s.series("mgr.delivery_latency_us").expect("series");
+        assert_eq!(ring.samples()[1].count, 100, "second window holds only its own samples");
+        assert!(
+            ring.samples()[1].min >= 2_900_000.0,
+            "windowed min excludes the previous window's fast samples"
+        );
+    }
+
+    #[test]
+    fn slow_delivery_tail_degrades_health_via_windowed_p99() {
+        let obs = Obs::new();
+        let d = obs.digest("mgr.delivery_latency_us");
+        let delivered = obs.counter("mgr.data_delivered");
+        let mut s = sampler();
+        // Healthy window: plenty of fast deliveries.
+        delivered.add(100);
+        for _ in 0..100 {
+            d.record(100_000);
+        }
+        assert!(s.sample(&obs, 1_000_000, 0, 10).is_none(), "fast tail is healthy");
+        // 2% of the next window burns the retry ladder: delivery ratio stays
+        // perfect, but the windowed p99 crosses the 2s threshold.
+        delivered.add(100);
+        for i in 0..100u64 {
+            d.record(if i < 2 { 6_000_000 } else { 100_000 });
+        }
+        let ev = s.sample(&obs, 2_000_000, 0, 10).expect("degrade");
+        assert_eq!((ev.to, ev.cause), (HealthState::Degraded, "delivery-latency"));
     }
 
     #[test]

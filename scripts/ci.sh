@@ -34,6 +34,9 @@ cargo run --release -p omni-bench --bin scale -- --parity
 echo "== trace smoke (flight-recorder completeness + determinism) =="
 cargo run --release -p omni-bench --bin trace -- --smoke
 
+echo "== profile smoke (profiler byte-identity + <=5% overhead budget) =="
+cargo run --release -p omni-bench --bin profile -- --smoke
+
 echo "== telemetry smoke (fault-window reconstruction from series) =="
 cargo run --release -p omni-bench --bin telemetry -- --smoke
 

@@ -409,9 +409,16 @@ fn five_hundred_node_faulty_runs_are_bit_identical() {
 /// implementation *before* the zero-copy views landed; the refactored path
 /// must reproduce it bit for bit, proving the rewrite changed allocation
 /// behavior and nothing else.
+///
+/// Re-pinned once since: the sampler JSONL gained a self-describing header
+/// line and per-window digest objects (DESIGN.md §5j), an intentional
+/// format change that shifts the hashed bytes. The wire path itself is
+/// still pinned by the differential and adversarial codec suites; this
+/// digest now guards the *current* artifact byte stream against silent
+/// drift from either layer.
 #[test]
 fn five_hundred_node_faulty_artifacts_match_the_owned_codec_digest() {
-    const PINNED_DIGEST: u64 = 0x103f_a8f6_fe82_90d2;
+    const PINNED_DIGEST: u64 = 0x455c_57a3_764e_2a44;
     const N: usize = 500;
     let cfg = SimConfig {
         seed: 11,
